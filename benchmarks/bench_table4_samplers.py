@@ -1,0 +1,93 @@
+"""Table 4 (Appendix A): broker sampler poll-size trade-off.
+
+Sample a fixed number of tuples from a broker topic using a singleton
+sampler (pollSize = 1) and sequential samplers (pollSize 10..100k),
+reporting polls, total time, per-poll time and the equivalent singleton
+sample rate above which the sequential scan is cheaper.
+
+Expected shape (paper): total time falls steeply as pollSize grows past
+1, flattens in the thousands, and rises slightly at very large polls;
+the equivalent singleton rate lands around 8-20%.
+"""
+
+from functools import lru_cache
+
+import numpy as np
+
+from conftest import emit
+from repro.broker.broker import Topic, encode_rows
+from repro.broker.samplers import SequentialSampler, SingletonSampler
+from repro.datasets import synthetic
+
+N_RECORDS = 120_000
+N_SAMPLES = 12_000          # 10% sample, scaled from the paper's 1M
+POLL_SIZES = (1, 10, 100, 1_000, 10_000, 100_000)
+
+
+@lru_cache(maxsize=None)
+def build_topic() -> Topic:
+    ds = synthetic.load("intel_wireless", n=N_RECORDS, seed=0)
+    topic = Topic("data")
+    topic.produce_many(encode_rows(ds.data))
+    return topic
+
+
+@lru_cache(maxsize=None)
+def run_experiment():
+    topic = build_topic()
+    rows = []
+    for poll_size in POLL_SIZES:
+        if poll_size == 1:
+            sampler = SingletonSampler(topic, seed=1)
+        else:
+            sampler = SequentialSampler(topic, poll_size, seed=1)
+        out = sampler.sample(N_SAMPLES)
+        stats = sampler.stats
+        total_ms = 1000.0 * stats.loading_seconds
+        ms_per_poll = total_ms / max(stats.n_polls, 1)
+        rows.append((poll_size, stats.n_polls, total_ms, ms_per_poll,
+                     len(out)))
+    # equivalent singleton sample rate: given singleton per-sample cost,
+    # how large must the sample be before a sequential scan is cheaper?
+    singleton_ms_per_sample = rows[0][2] / max(rows[0][4], 1)
+    enriched = []
+    for poll_size, n_polls, total_ms, ms_per_poll, n_out in rows:
+        if poll_size == 1:
+            eq_rate = None
+        else:
+            eq_rate = (total_ms / singleton_ms_per_sample) / N_RECORDS
+        enriched.append((poll_size, n_polls, total_ms, ms_per_poll,
+                         n_out, eq_rate))
+    return enriched
+
+
+def format_table(rows) -> str:
+    lines = [f"{'pollSize':>9}{'nPolls':>10}{'total(ms)':>12}"
+             f"{'ms/poll':>10}{'samples':>9}{'EquivSingletonSR':>18}"]
+    for poll_size, n_polls, total_ms, ms_per_poll, n_out, eq in rows:
+        eq_s = "-" if eq is None else f"{eq:.3f}"
+        lines.append(f"{poll_size:>9}{n_polls:>10}{total_ms:>12.1f}"
+                     f"{ms_per_poll:>10.3f}{n_out:>9}{eq_s:>18}")
+    return "\n".join(lines)
+
+
+def test_table4_sampler_tradeoff(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("table4_samplers", format_table(rows))
+    by_size = {r[0]: r for r in rows}
+    # Shape 1: sequential scans with big polls beat the singleton total.
+    assert by_size[10_000][2] < by_size[1][2]
+    # Shape 2: total time is non-increasing from pollSize 10 to 10k
+    # (amortized API overhead), within noise.
+    assert by_size[10_000][2] < 3 * by_size[100][2]
+    # Shape 3: the equivalent singleton rate is below 100% - i.e. there
+    # is a sample rate above which sequential sampling wins.
+    assert 0 < by_size[10_000][5] < 1.0
+
+
+def test_table4_singleton_poll(benchmark):
+    """Microbenchmark: one singleton poll + parse."""
+    topic = build_topic()
+    sampler = SingletonSampler(topic, seed=2)
+    result = benchmark(lambda: sampler.sample(1))
+    assert len(result) == 1

@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Every benchmark both *times* a representative unit of work (so
+``pytest-benchmark`` has a measurement) and *prints/persists* the paper-
+style table or series it regenerates.  Results are written to
+``benchmarks/out/<name>.txt`` so they survive pytest's stdout capture;
+run with ``-s`` to see them live.
+"""
+
+import os
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+OUT_DIR.mkdir(exist_ok=True)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/out/."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+    print(banner + text)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")

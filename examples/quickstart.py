@@ -1,0 +1,75 @@
+"""Quickstart: build a JanusAQP synopsis, stream updates, query with CIs.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (AggFunc, JanusAQP, JanusConfig, Query, Rectangle, Table)
+from repro.datasets import nyc_taxi
+
+
+def main() -> None:
+    # 1. Generate a taxi-trip-shaped dataset and load the first half as
+    #    "historical" data.  In a real deployment the Table is your
+    #    archival store; the synopsis never reads it at query time.
+    ds = nyc_taxi(n=50_000, seed=7)
+    table = Table(ds.schema, capacity=ds.n + 16)
+    table.insert_many(ds.data[: ds.n // 2])
+
+    # 2. Construct the synopsis: aggregation attribute, predicate
+    #    attributes and a handful of knobs (Section 3.1 of the paper).
+    config = JanusConfig(
+        k=64,                # leaf partitions
+        sample_rate=0.02,    # pooled sample ~2% of the data
+        catchup_rate=0.10,   # refine node statistics with 10% of the data
+        seed=0,
+    )
+    janus = JanusAQP(table, agg_attr="trip_distance",
+                     predicate_attrs=("pickup_time",), config=config)
+    report = janus.initialize()
+    print(f"initialized: optimize={report.optimize_seconds * 1000:.1f} ms, "
+          f"blocking={report.blocking_seconds * 1000:.1f} ms, "
+          f"catch-up={report.catchup.n_processed} samples")
+
+    # 3. Ask an aggregate query with a rectangular predicate.
+    query = Query(AggFunc.SUM, "trip_distance", ("pickup_time",),
+                  Rectangle((100.0,), (400.0,)))
+    result = janus.query(query)
+    truth = table.ground_truth(query)
+    lo, hi = result.ci()
+    print(f"\nSUM(trip_distance) for pickup_time in [100, 400]:")
+    print(f"  estimate = {result.estimate:,.1f}   95% CI [{lo:,.1f}, "
+          f"{hi:,.1f}]")
+    print(f"  truth    = {truth:,.1f}   "
+          f"(rel. error {abs(result.estimate - truth) / truth:.2%})")
+
+    # 4. Stream insertions and deletions; estimates track them exactly
+    #    through the per-node delta statistics.
+    for row in ds.data[ds.n // 2: ds.n // 2 + 5_000]:
+        janus.insert(row)
+    rng = np.random.default_rng(1)
+    for tid in rng.choice(table.live_tids(), size=1_000, replace=False):
+        janus.delete(int(tid))
+    result = janus.query(query)
+    truth = table.ground_truth(query)
+    print(f"\nafter 5000 inserts and 1000 deletes:")
+    print(f"  estimate = {result.estimate:,.1f}   "
+          f"truth = {truth:,.1f}   "
+          f"(rel. error {abs(result.estimate - truth) / truth:.2%})")
+
+    # 5. Every aggregate function works from the same synopsis.
+    for agg in (AggFunc.COUNT, AggFunc.AVG, AggFunc.MIN, AggFunc.MAX):
+        r = janus.query(query.with_agg(agg))
+        t = table.ground_truth(query.with_agg(agg))
+        print(f"  {agg.value:<6} estimate {r.estimate:>12,.2f}   "
+              f"truth {t:>12,.2f}")
+
+    # 6. Re-optimize on demand (the system also triggers this itself).
+    report = janus.reoptimize()
+    print(f"\nre-optimized in {report.total_seconds:.3f} s "
+          f"({janus.dpt.k} leaves, pool={janus.pool_size})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Stock-order analytics: the paper's motivating NASDAQ scenario.
+
+Section 1 motivates JanusAQP with a per-stock order database: a large
+volume of new orders (insertions) and a small but significant number of
+cancellations (deletions), queried through a low-latency approximate SQL
+interface.  This example drives that workload end to end through the
+broker-based request stream and compares the synopsis latency against
+exact evaluation.
+
+Run:  python examples/stock_orders.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import AggFunc, JanusAQP, JanusConfig, Query, Rectangle, Table
+from repro.datasets import nasdaq_etf
+from repro.datasets.workload import generate_workload
+
+
+def main() -> None:
+    ds = nasdaq_etf(n=60_000, seed=3)
+    table = Table(ds.schema, capacity=ds.n + 16)
+    table.insert_many(ds.data[:30_000])
+
+    config = JanusConfig(k=64, sample_rate=0.02, catchup_rate=0.10,
+                         beta=10.0, check_every=512, seed=1)
+    janus = JanusAQP(table, agg_attr="volume",
+                     predicate_attrs=("date",), config=config)
+    janus.initialize()
+
+    # --- simulate a trading session -------------------------------------
+    # A stream of new orders with ~8% cancellations, as in the intro:
+    # "a large volume of new insertions ... and a small but significant
+    # number of deletions (canceled orders)".
+    rng = np.random.default_rng(2)
+    pending: list = []
+    n_inserted = n_canceled = 0
+    t0 = time.perf_counter()
+    for row in ds.data[30_000:55_000]:
+        tid = janus.insert(row)
+        pending.append(tid)
+        n_inserted += 1
+        if rng.random() < 0.08 and pending:
+            victim = pending.pop(int(rng.integers(len(pending))))
+            janus.delete(victim)
+            n_canceled += 1
+    elapsed = time.perf_counter() - t0
+    rate = (n_inserted + n_canceled) / elapsed
+    print(f"processed {n_inserted:,} orders and {n_canceled:,} "
+          f"cancellations in {elapsed:.2f} s  ({rate:,.0f} requests/s)")
+    print(f"automatic re-partitions so far: {janus.n_repartitions}")
+
+    # --- the low-latency SQL interface ----------------------------------
+    # SELECT SUM(volume) FROM orders WHERE date BETWEEN lo AND hi
+    queries = generate_workload(table, AggFunc.SUM, "volume", ("date",),
+                                n_queries=200, seed=11, min_count=50,
+                                endpoints="data")
+    t0 = time.perf_counter()
+    estimates = [janus.query(q).estimate for q in queries]
+    synopsis_ms = 1000 * (time.perf_counter() - t0) / len(queries)
+    t0 = time.perf_counter()
+    truths = table.ground_truths(queries)
+    exact_ms = 1000 * (time.perf_counter() - t0) / len(queries)
+    errors = [abs(e - t) / t for e, t in zip(estimates, truths) if t]
+    print(f"\nper-query latency: synopsis {synopsis_ms:.3f} ms vs "
+          f"exact scan {exact_ms:.3f} ms "
+          f"({exact_ms / synopsis_ms:,.0f}x speedup)")
+    print(f"median relative error: {float(np.median(errors)):.2%}")
+
+    # --- daily trading-range questions via MIN/MAX ----------------------
+    lo, hi = table.domain("date")
+    mid = (lo + hi) / 2
+    window = Rectangle((mid,), (mid + 365.0,))
+    for agg, attr in ((AggFunc.MAX, "high"), (AggFunc.MIN, "low")):
+        q = Query(agg, attr, ("date",), window)
+        r = janus.query(q)
+        t = table.ground_truth(q)
+        print(f"{agg.value}({attr}) over one year: estimate "
+              f"{r.estimate:,.2f}  truth {t:,.2f}  "
+              f"({'exact' if r.exact else 'approximate'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Streaming taxi analytics through the broker request API (Section 3.2).
+
+Both data and queries are streams (the PSoup architecture): clients
+produce serialized insert/delete/execute requests onto broker topics; a
+StreamDriver applies them in arrival order and publishes query results.
+This example also exercises the multi-threaded re-initialization
+pipeline of Figure 4 while the stream keeps flowing.
+
+Run:  python examples/taxi_stream.py
+"""
+
+import math
+import time
+
+import numpy as np
+
+from repro import AggFunc, JanusAQP, JanusConfig, Query, Rectangle, Table
+from repro.broker.broker import Broker
+from repro.core.stream import StreamClient, StreamDriver
+from repro.datasets import nyc_taxi
+
+
+def main() -> None:
+    ds = nyc_taxi(n=60_000, seed=11)
+    table = Table(ds.schema, capacity=ds.n + 16)
+    table.insert_many(ds.data[:20_000])
+
+    config = JanusConfig(k=64, sample_rate=0.02, catchup_rate=0.10,
+                         check_every=10 ** 9, seed=0)
+    janus = JanusAQP(table, "trip_distance", ("pickup_time",),
+                     config=config)
+    janus.initialize()
+
+    broker = Broker()
+    client = StreamClient(broker)
+    driver = StreamDriver(broker, janus)
+
+    # -- a day of traffic: bursts of trips, some voided, rolling queries
+    rng = np.random.default_rng(3)
+    pending = []
+    query_ids = []
+    cursor = 20_000
+    lo, hi = table.domain("pickup_time")
+    for hour in range(10):
+        burst = ds.data[cursor:cursor + 2_000]
+        cursor += 2_000
+        for row in burst:
+            pending.append(client.insert(row))
+        # ~3% of trips get voided out-of-band (fraud checks, disputes)
+        for _ in range(60):
+            if pending:
+                client.delete(pending.pop(int(rng.integers(len(pending)))))
+        # the dashboard asks for the last-six-hours trip volume
+        window = Rectangle((hi - 6.0,), (math.inf,))
+        q = Query(AggFunc.SUM, "trip_distance", ("pickup_time",), window)
+        query_ids.append((hour, client.execute(q), q))
+        driver.drain()
+
+    stats = driver.stats
+    print(f"stream processed: {stats.n_inserts:,} inserts, "
+          f"{stats.n_deletes:,} deletes, {stats.n_queries} queries "
+          f"({stats.n_bad_requests} bad requests)")
+    for hour, qid, q in query_ids[-3:]:
+        result = driver.results[qid]
+        truth = table.ground_truth(q)
+        ci_lo, ci_hi = result.ci()
+        print(f"  hour {hour}: SUM(trip_distance) last-6h = "
+              f"{result.estimate:,.0f}  CI [{ci_lo:,.0f}, {ci_hi:,.0f}]  "
+              f"truth {truth:,.0f}")
+
+    # -- Figure 4: re-optimize in the background while traffic continues
+    print("\nre-optimizing online (Figure 4 pipeline)...")
+    thread = janus.reoptimize_async()
+    served = 0
+    t0 = time.perf_counter()
+    while thread.is_alive() and cursor < 60_000:
+        for row in ds.data[cursor:cursor + 200]:
+            client.insert(row)
+        cursor += 200
+        q = Query(AggFunc.COUNT, "trip_distance", ("pickup_time",),
+                  Rectangle((-math.inf,), (math.inf,)))
+        client.execute(q)
+        driver.drain()
+        served += 1
+    thread.join()
+    print(f"  answered {served} query batches during re-optimization "
+          f"({time.perf_counter() - t0:.2f} s); "
+          f"re-partitions: {janus.n_repartitions}")
+    q = Query(AggFunc.COUNT, "trip_distance", ("pickup_time",),
+              Rectangle((-math.inf,), (math.inf,)))
+    result = janus.query(q)
+    print(f"  final COUNT estimate {result.estimate:,.0f} "
+          f"vs true {len(table):,} rows")
+
+
+if __name__ == "__main__":
+    main()

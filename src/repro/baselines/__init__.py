@@ -1,0 +1,10 @@
+"""Baselines the paper compares against: RS, SRS, DeepDB(SPN)."""
+
+from .rs import ReservoirBaseline
+from .srs import StratifiedReservoirBaseline
+from .deepdb import DeepDBBaseline
+from .spn import HistogramLeaf, ProductNode, SumNode, learn_spn
+
+__all__ = ["ReservoirBaseline", "StratifiedReservoirBaseline",
+           "DeepDBBaseline", "HistogramLeaf", "ProductNode", "SumNode",
+           "learn_spn"]

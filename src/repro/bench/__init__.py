@@ -1,0 +1,10 @@
+"""Experiment harness shared by the benchmarks/ directory."""
+
+from .harness import EvalResult, ProgressRun, evaluate, fmt_row, make_workload
+from .metrics import (LatencyMeter, ThroughputMeter, median_relative_error,
+                      p95_relative_error, relative_errors)
+
+__all__ = ["EvalResult", "ProgressRun", "evaluate", "fmt_row",
+           "make_workload", "LatencyMeter", "ThroughputMeter",
+           "median_relative_error", "p95_relative_error",
+           "relative_errors"]

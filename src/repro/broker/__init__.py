@@ -1,0 +1,13 @@
+"""Kafka-like in-process broker and the Appendix-A samplers."""
+
+from .broker import Broker, Consumer, Topic, decode_row, decode_rows, \
+    encode_row, encode_rows
+from .requests import (DeleteRequest, InsertRequest, QueryRequest,
+                       decode, encode_delete, encode_insert, encode_query)
+from .samplers import SequentialSampler, SingletonSampler, choose_sampler
+
+__all__ = ["Broker", "Consumer", "Topic", "decode_row", "decode_rows",
+           "encode_row", "encode_rows", "SequentialSampler",
+           "SingletonSampler", "choose_sampler", "DeleteRequest",
+           "InsertRequest", "QueryRequest", "decode", "encode_delete",
+           "encode_insert", "encode_query"]

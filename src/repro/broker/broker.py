@@ -1,0 +1,126 @@
+"""In-process message broker with Kafka-like semantics.
+
+The paper implements JanusAQP on Apache Kafka (Section 3.2): three topics
+(``insert``, ``delete``, ``execute``) carry tuple/query requests, and
+Appendix A builds random samplers on top of the narrow consumer API -
+``poll`` from an *offset* returning a batch of *serialized* records.
+
+This module reproduces exactly that narrow API in-process:
+
+* :class:`Topic` - an append-only log of serialized string records,
+  addressed by offset;
+* :class:`Broker` - a named collection of topics;
+* :class:`Consumer` - a cursor over one topic with ``seek``/``poll``.
+
+Records are stored **serialized** (CSV strings) on purpose: the catch-up
+"loading vs processing" experiment (Figure 7, right) and the sampler
+trade-off experiment (Table 4) are only meaningful when each poll pays a
+real parsing cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Topic:
+    """Append-only offset-addressed log of serialized records."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._records: List[str] = []
+        self._lock = threading.Lock()
+
+    def produce(self, record: str) -> int:
+        """Append one record; returns its offset."""
+        with self._lock:
+            self._records.append(record)
+            return len(self._records) - 1
+
+    def produce_many(self, records: Iterable[str]) -> int:
+        """Append records; returns the next end offset."""
+        with self._lock:
+            self._records.extend(records)
+            return len(self._records)
+
+    def poll(self, offset: int, max_records: int) -> List[str]:
+        """Up to ``max_records`` records starting at ``offset``.
+
+        Mirrors the Kafka consumer contract the paper's samplers rely on:
+        batches are contiguous runs from a caller-supplied offset.
+        """
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        with self._lock:
+            return self._records[offset:offset + max_records]
+
+    @property
+    def end_offset(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __len__(self) -> int:
+        return self.end_offset
+
+
+class Broker:
+    """A set of named topics (the paper uses insert/delete/execute)."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    EXECUTE = "execute"
+
+    def __init__(self) -> None:
+        self._topics: Dict[str, Topic] = {}
+        self._lock = threading.Lock()
+
+    def topic(self, name: str) -> Topic:
+        with self._lock:
+            if name not in self._topics:
+                self._topics[name] = Topic(name)
+            return self._topics[name]
+
+    def topics(self) -> List[str]:
+        with self._lock:
+            return list(self._topics)
+
+
+class Consumer:
+    """A polling cursor over one topic."""
+
+    def __init__(self, topic: Topic, offset: int = 0) -> None:
+        self.topic = topic
+        self.offset = offset
+
+    def seek(self, offset: int) -> None:
+        self.offset = offset
+
+    def poll(self, max_records: int) -> List[str]:
+        batch = self.topic.poll(self.offset, max_records)
+        self.offset += len(batch)
+        return batch
+
+    @property
+    def lag(self) -> int:
+        return max(0, self.topic.end_offset - self.offset)
+
+
+# ---------------------------------------------------------------------- #
+# record (de)serialization - deliberately string-based, see module doc
+# ---------------------------------------------------------------------- #
+def encode_row(values: Sequence[float]) -> str:
+    return ",".join(repr(float(v)) for v in values)
+
+def decode_row(record: str) -> List[float]:
+    return [float(tok) for tok in record.split(",")]
+
+def encode_rows(rows: np.ndarray) -> List[str]:
+    return [encode_row(row) for row in np.asarray(rows, dtype=np.float64)]
+
+def decode_rows(records: Sequence[str]) -> np.ndarray:
+    if not records:
+        return np.empty((0, 0))
+    return np.array([decode_row(r) for r in records], dtype=np.float64)

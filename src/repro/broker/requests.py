@@ -1,0 +1,85 @@
+"""Request (de)serialization for the broker topics (Section 3.2).
+
+JanusAQP adopts the PSoup architecture: both data and queries are
+streams.  Three topics carry three request kinds::
+
+    insert(key, tuple)   - a new tuple, tagged with a client-side key
+    delete(key)          - remove the tuple previously inserted as `key`
+    execute(query)       - an aggregate query over the current state
+
+Tuple ids are assigned server-side at insert time, so delete requests
+reference the *client key* of the insert; the stream driver keeps the
+key-to-tid mapping.  All payloads are flat strings - the same
+serialized-record discipline the samplers rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..core.queries import AggFunc, Query, Rectangle
+
+_FIELD_SEP = "|"
+_NUM_SEP = ","
+
+
+@dataclass(frozen=True)
+class InsertRequest:
+    key: int
+    values: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class DeleteRequest:
+    key: int
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    query_id: int
+    query: Query
+
+
+Request = Union[InsertRequest, DeleteRequest, QueryRequest]
+
+
+def encode_insert(key: int, values: Sequence[float]) -> str:
+    nums = _NUM_SEP.join(repr(float(v)) for v in values)
+    return f"I{_FIELD_SEP}{key}{_FIELD_SEP}{nums}"
+
+
+def encode_delete(key: int) -> str:
+    return f"D{_FIELD_SEP}{key}"
+
+
+def encode_query(query_id: int, query: Query) -> str:
+    parts = [
+        "Q", str(query_id), query.agg.value, query.attr,
+        _NUM_SEP.join(query.predicate_attrs),
+        _NUM_SEP.join(repr(float(x)) for x in query.rect.lo),
+        _NUM_SEP.join(repr(float(x)) for x in query.rect.hi),
+    ]
+    return _FIELD_SEP.join(parts)
+
+
+def decode(record: str) -> Request:
+    """Parse one serialized request."""
+    parts = record.split(_FIELD_SEP)
+    kind = parts[0]
+    if kind == "I":
+        key = int(parts[1])
+        values = tuple(float(tok) for tok in parts[2].split(_NUM_SEP))
+        return InsertRequest(key, values)
+    if kind == "D":
+        return DeleteRequest(int(parts[1]))
+    if kind == "Q":
+        query_id = int(parts[1])
+        agg = AggFunc(parts[2])
+        attr = parts[3]
+        pred_attrs = tuple(parts[4].split(_NUM_SEP))
+        lo = tuple(float(tok) for tok in parts[5].split(_NUM_SEP))
+        hi = tuple(float(tok) for tok in parts[6].split(_NUM_SEP))
+        query = Query(agg, attr, pred_attrs, Rectangle(lo, hi))
+        return QueryRequest(query_id, query)
+    raise ValueError(f"unknown request kind {kind!r}")

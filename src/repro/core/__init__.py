@@ -1,0 +1,27 @@
+"""Core JanusAQP components: queries, tables, partition trees, system."""
+
+from .queries import AggFunc, Query, QueryResult, Rectangle, relative_error
+from .table import Table, table_from_array
+from .node import DPTNode
+from .dpt import DynamicPartitionTree
+from .spt import StaticPartitionTree, build_spt
+from .catchup import CatchupReport, CatchupRunner, seed_from_reservoir
+from .triggers import RepartitionTrigger, TriggerAction, TriggerConfig
+from .janus import JanusAQP, JanusConfig, ReoptReport
+from .persist import load_synopsis, save_synopsis
+from .shared import SharedPoolSynopses
+from .repartition import (PartialRepartitionReport, ancestor_at,
+                          auto_partial_repartition, partial_repartition)
+from .stream import StreamClient, StreamDriver, StreamStats
+from .templates import HeuristicRouter, SynopsisManager
+
+__all__ = [
+    "AggFunc", "Query", "QueryResult", "Rectangle", "relative_error",
+    "Table", "table_from_array", "DPTNode", "DynamicPartitionTree",
+    "StaticPartitionTree", "build_spt", "CatchupReport", "CatchupRunner",
+    "seed_from_reservoir", "RepartitionTrigger", "TriggerAction",
+    "TriggerConfig", "JanusAQP", "JanusConfig", "ReoptReport",
+    "HeuristicRouter", "SynopsisManager", "PartialRepartitionReport",
+    "ancestor_at", "auto_partial_repartition", "partial_repartition",
+    "StreamClient", "StreamDriver", "StreamStats", "SharedPoolSynopses", "load_synopsis", "save_synopsis",
+]

@@ -1,0 +1,458 @@
+"""The Dynamic Partition Tree (paper Section 4).
+
+A DPT is the same two-layer structure as PASS's static partition tree - a
+hierarchical rectangular partitioning with per-node aggregate statistics
+and stratified samples at the leaves - represented so that every piece is
+incrementally maintainable:
+
+* inserts/deletes update the exact delta statistics of the root-to-leaf
+  path (Figure 3) and the MIN/MAX heaps;
+* node snapshot statistics are *estimates* accumulated from catch-up
+  samples (Section 4.3), so a freshly re-initialized tree is usable
+  immediately and sharpens in the background;
+* leaf samples are virtual strata of the pooled reservoir, provided at
+  query time by a caller-supplied ``leaf_samples`` function so the tree
+  itself stays storage-agnostic.
+
+Query processing (Section 4.4) decomposes a predicate into fully covered
+nodes (answered from node statistics, contributing catch-up variance
+nu_c) and partially covered leaves (answered from stratified samples,
+contributing nu_s); see :mod:`repro.core.estimators` for the formulas.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..partitioning.spec import PartitionNode
+from . import estimators
+from .node import DPTNode
+from .queries import AggFunc, Query, QueryResult, Rectangle
+
+LeafSamplesFn = Callable[[DPTNode], np.ndarray]
+
+
+class DynamicPartitionTree:
+    """A partition-tree synopsis over one query template."""
+
+    def __init__(self, spec: PartitionNode, schema: Sequence[str],
+                 predicate_attrs: Sequence[str],
+                 stat_attrs: Optional[Sequence[str]] = None,
+                 minmax_attrs: Optional[Sequence[str]] = None,
+                 minmax_k: int = 32) -> None:
+        self.schema = tuple(schema)
+        self.predicate_attrs = tuple(predicate_attrs)
+        if spec.rect.dim != len(self.predicate_attrs):
+            raise ValueError("spec dimensionality != #predicate attributes")
+        self.stat_attrs = tuple(stat_attrs) if stat_attrs else self.schema
+        self._stat_pos: Dict[str, int] = {a: i for i, a in
+                                          enumerate(self.stat_attrs)}
+        self._pred_idx = np.array([self.schema.index(a)
+                                   for a in self.predicate_attrs])
+        self._stat_idx = np.array([self.schema.index(a)
+                                   for a in self.stat_attrs])
+        minmax_attrs = tuple(minmax_attrs) if minmax_attrs is not None \
+            else self.stat_attrs
+        self._mm_pos = tuple(self._stat_pos[a] for a in minmax_attrs
+                             if a in self._stat_pos)
+        self._minmax_k = minmax_k
+        self.n0 = 0                       # snapshot population at epoch start
+        self._nodes: List[DPTNode] = []
+        self._next_id = 0
+        self.root = self._build(spec, self._mm_pos, minmax_k)
+        self._inflate_edges()
+        self.leaves: List[DPTNode] = [n for n in self._nodes if n.is_leaf]
+        self.n_updates = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _build(self, spec: PartitionNode, mm_pos: Tuple[int, ...],
+               minmax_k: int) -> DPTNode:
+        node = DPTNode(self._next_id, spec.rect, len(self.stat_attrs),
+                       minmax_attrs=mm_pos, minmax_k=minmax_k)
+        self._next_id += 1
+        self._nodes.append(node)
+        for child_spec in spec.children:
+            child = self._build(child_spec, mm_pos, minmax_k)
+            child.parent = node
+            node.children.append(child)
+        return node
+
+    def replace_subtree(self, node: DPTNode,
+                        spec: PartitionNode) -> List[DPTNode]:
+        """Swap ``node``'s children for a freshly partitioned subtree.
+
+        The partial re-partitioning primitive of Appendix E: the subtree
+        below ``node`` is discarded and rebuilt from ``spec``'s children
+        (``spec.rect`` must cover the same region).  ``node`` itself and
+        everything outside the subtree keep their statistics.  Returns
+        the new subtree nodes (excluding ``node``); the caller is
+        responsible for seeding their statistics and re-routing strata.
+        """
+        if not node.rect.contains_rect(spec.rect) and \
+                not spec.rect.contains_rect(node.rect):
+            raise ValueError("replacement spec does not cover the node")
+        node.children = []
+        before = len(self._nodes)
+        # _build appends to _nodes; rebuild the registry afterwards so
+        # discarded nodes disappear from iteration.
+        for child_spec in spec.children:
+            child = self._build(child_spec, self._mm_pos, self._minmax_k)
+            child.parent = node
+            node.children.append(child)
+        new_nodes = self._nodes[before:]
+        self._nodes = []
+        stack = [self.root]
+        while stack:
+            n = stack.pop()
+            self._nodes.append(n)
+            stack.extend(n.children)
+        self.leaves = [n for n in self._nodes if n.is_leaf]
+        return new_nodes
+
+    def subtree_leaf_count(self, node: DPTNode) -> int:
+        count = 0
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n.is_leaf:
+                count += 1
+            stack.extend(n.children)
+        return count
+
+    def add_catchup_row_subtree(self, subtree_root: DPTNode,
+                                row: np.ndarray) -> None:
+        """Catch-up propagation restricted to a subtree (Appendix E).
+
+        Used when seeding a partially re-partitioned region: the ancestor
+        path keeps its statistics, only the fresh descendants accumulate.
+        """
+        stats = self._stat_values(row)
+        coords = self._coords(row)
+        node = subtree_root
+        while not node.is_leaf:
+            for child in node.children:
+                if child.rect.contains_point(coords):
+                    node = child
+                    break
+            else:
+                node = min(node.children,
+                           key=lambda c: _rect_distance(c.rect, coords))
+            node.add_catchup(stats)
+
+    def _inflate_edges(self) -> None:
+        """Extend boundary partitions to infinity so every future tuple
+        routes to a leaf (new data may fall outside the build-time domain).
+        """
+        orig = self.root.rect
+        for node in self._nodes:
+            lo = list(node.rect.lo)
+            hi = list(node.rect.hi)
+            for j in range(len(lo)):
+                if lo[j] == orig.lo[j]:
+                    lo[j] = -math.inf
+                if hi[j] == orig.hi[j]:
+                    hi[j] = math.inf
+            node.rect = Rectangle(tuple(lo), tuple(hi))
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def k(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def h_total(self) -> int:
+        return self.root.h
+
+    @property
+    def n_current(self) -> float:
+        """Live population estimate: snapshot size plus exact net delta."""
+        return self.n0 + self.root.delta_count
+
+    def nodes(self) -> Iterator[DPTNode]:
+        return iter(self._nodes)
+
+    def stat_pos(self, attr: str) -> int:
+        try:
+            return self._stat_pos[attr]
+        except KeyError:
+            raise KeyError(f"attribute {attr!r} is not tracked by this "
+                           f"synopsis (tracked: {self.stat_attrs})") from None
+
+    def set_population(self, n0: int) -> None:
+        self.n0 = int(n0)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def _coords(self, row: np.ndarray) -> np.ndarray:
+        return row[self._pred_idx]
+
+    def _stat_values(self, row: np.ndarray) -> np.ndarray:
+        return row[self._stat_idx]
+
+    def route_leaf(self, coords: Sequence[float]) -> DPTNode:
+        """The leaf whose partition contains ``coords``."""
+        node = self.root
+        while not node.is_leaf:
+            for child in node.children:
+                if child.rect.contains_point(coords):
+                    node = child
+                    break
+            else:  # numeric edge case: snap to the nearest child
+                node = min(node.children,
+                           key=lambda c: _rect_distance(c.rect, coords))
+        return node
+
+    def _path(self, coords: Sequence[float]) -> List[DPTNode]:
+        path = [self.root]
+        node = self.root
+        while not node.is_leaf:
+            for child in node.children:
+                if child.rect.contains_point(coords):
+                    node = child
+                    break
+            else:
+                node = min(node.children,
+                           key=lambda c: _rect_distance(c.rect, coords))
+            path.append(node)
+        return path
+
+    # ------------------------------------------------------------------ #
+    # maintenance (Figure 3)
+    # ------------------------------------------------------------------ #
+    def insert_row(self, row: np.ndarray) -> DPTNode:
+        stats = self._stat_values(row)
+        path = self._path(self._coords(row))
+        for node in path:
+            node.apply_insert(stats)
+        self.n_updates += 1
+        return path[-1]
+
+    def delete_row(self, row: np.ndarray) -> DPTNode:
+        stats = self._stat_values(row)
+        path = self._path(self._coords(row))
+        for node in path:
+            node.apply_delete(stats)
+        self.n_updates += 1
+        return path[-1]
+
+    def add_catchup_row(self, row: np.ndarray) -> DPTNode:
+        """Propagate one archival sample through the tree (Section 4.3)."""
+        stats = self._stat_values(row)
+        path = self._path(self._coords(row))
+        for node in path:
+            node.add_catchup(stats)
+        return path[-1]
+
+    def add_catchup_rows(self, rows: np.ndarray) -> None:
+        for row in rows:
+            self.add_catchup_row(row)
+
+    # ------------------------------------------------------------------ #
+    # query processing (Section 4.4)
+    # ------------------------------------------------------------------ #
+    def frontier(self, rect: Rectangle
+                 ) -> Tuple[List[DPTNode], List[DPTNode]]:
+        """Step 1: ``(R_cover, R_partial)`` node sets for a predicate."""
+        cover: List[DPTNode] = []
+        partial: List[DPTNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not rect.intersects(node.rect):
+                continue
+            if rect.contains_rect(node.rect):
+                cover.append(node)
+            elif node.is_leaf:
+                partial.append(node)
+            else:
+                stack.extend(node.children)
+        return cover, partial
+
+    def query(self, query: Query, leaf_samples: LeafSamplesFn
+              ) -> QueryResult:
+        """Answer an aggregate query from the synopsis alone."""
+        if query.predicate_attrs != self.predicate_attrs:
+            raise ValueError(
+                f"query predicate attrs {query.predicate_attrs} do not "
+                f"match synopsis attrs {self.predicate_attrs}")
+        cover, partial = self.frontier(query.rect)
+        if query.agg in (AggFunc.SUM, AggFunc.COUNT):
+            return self._query_sum_count(query, cover, partial, leaf_samples)
+        if query.agg is AggFunc.AVG:
+            return self._query_avg(query, cover, partial, leaf_samples)
+        if query.agg in (AggFunc.VARIANCE, AggFunc.STDDEV):
+            return self._query_variance(query, cover, partial,
+                                        leaf_samples)
+        return self._query_minmax(query, cover, partial, leaf_samples)
+
+    # -- helpers -------------------------------------------------------- #
+    def _matched(self, query: Query, rows: np.ndarray
+                 ) -> Tuple[np.ndarray, int]:
+        """(matched aggregation values, stratum size) for a partial leaf."""
+        m_i = rows.shape[0]
+        if m_i == 0:
+            return np.empty(0), 0
+        mask = np.ones(m_i, dtype=bool)
+        for dim, col in enumerate(self._pred_idx):
+            vals = rows[:, col]
+            mask &= (vals >= query.rect.lo[dim]) & \
+                    (vals <= query.rect.hi[dim])
+        if query.agg is AggFunc.COUNT:
+            return np.ones(int(mask.sum())), m_i
+        attr_col = self.schema.index(query.attr)
+        return rows[mask, attr_col], m_i
+
+    def _query_sum_count(self, query: Query, cover: List[DPTNode],
+                         partial: List[DPTNode],
+                         leaf_samples: LeafSamplesFn) -> QueryResult:
+        is_count = query.agg is AggFunc.COUNT
+        pos = None if is_count else self.stat_pos(query.attr)
+        agg = 0.0
+        var_c = 0.0
+        all_exact = True
+        for node in cover:
+            if is_count:
+                agg += node.count_estimate(self.n0, self.h_total)
+            else:
+                agg += node.sum_estimate(pos, self.n0, self.h_total)
+                var_c += node.catchup_var_sum(pos, self.n0, self.h_total)
+            all_exact = all_exact and node.exact
+        samp = 0.0
+        var_s = 0.0
+        for leaf in partial:
+            rows = leaf_samples(leaf)
+            matched, m_i = self._matched(query, rows)
+            n_i = leaf.count_estimate(self.n0, self.h_total)
+            if is_count:
+                contrib = estimators.count_partial(n_i, m_i,
+                                                   matched.shape[0])
+            else:
+                contrib = estimators.sum_partial(n_i, m_i, matched)
+            samp += contrib.estimate
+            var_s += contrib.variance
+        exact = all_exact and not partial
+        return QueryResult(agg + samp, var_c, var_s, exact,
+                           n_covered=len(cover), n_partial=len(partial))
+
+    def _query_avg(self, query: Query, cover: List[DPTNode],
+                   partial: List[DPTNode],
+                   leaf_samples: LeafSamplesFn) -> QueryResult:
+        pos = self.stat_pos(query.attr)
+        nodes = cover + partial
+        n_q = sum(n.count_estimate(self.n0, self.h_total) for n in nodes)
+        if n_q <= 0:
+            return QueryResult(math.nan, 0.0, 0.0, False,
+                               n_covered=len(cover), n_partial=len(partial))
+        est = 0.0
+        var_c = 0.0
+        all_exact = True
+        for node in cover:
+            est += node.sum_estimate(pos, self.n0, self.h_total) / n_q
+            w_i = node.count_estimate(self.n0, self.h_total) / n_q
+            var_c += node.catchup_var_avg(pos, w_i)
+            all_exact = all_exact and node.exact
+        var_s = 0.0
+        for leaf in partial:
+            rows = leaf_samples(leaf)
+            matched, m_i = self._matched(query, rows)
+            n_i = leaf.count_estimate(self.n0, self.h_total)
+            contrib = estimators.avg_partial(n_i, n_q, m_i, matched)
+            est += contrib.estimate
+            var_s += contrib.variance
+        exact = all_exact and not partial
+        return QueryResult(est, var_c, var_s, exact,
+                           n_covered=len(cover), n_partial=len(partial))
+
+    def _query_variance(self, query: Query, cover: List[DPTNode],
+                        partial: List[DPTNode],
+                        leaf_samples: LeafSamplesFn) -> QueryResult:
+        """VARIANCE/STDDEV composed from COUNT, SUM and sum-of-squares.
+
+        Section 6.6: "aggregate functions such as STDDEV that can be
+        composed using SUM and CNT" - every node maintains sum(a^2)
+        alongside sum(a), so E[a^2] - E[a]^2 is a plug-in estimate.
+        No confidence interval is reported (the delta-method variance of
+        the composition is out of the paper's scope); ``details`` flags
+        this.
+        """
+        pos = self.stat_pos(query.attr)
+        count_est = 0.0
+        sum_est = 0.0
+        sumsq_est = 0.0
+        all_exact = True
+        for node in cover:
+            count_est += node.count_estimate(self.n0, self.h_total)
+            sum_est += node.sum_estimate(pos, self.n0, self.h_total)
+            sumsq_est += node.sumsq_estimate(pos, self.n0, self.h_total)
+            all_exact = all_exact and node.exact
+        for leaf in partial:
+            rows = leaf_samples(leaf)
+            matched, m_i = self._matched(
+                query.with_agg(AggFunc.SUM, query.attr), rows)
+            if m_i <= 0:
+                continue
+            n_i = leaf.count_estimate(self.n0, self.h_total)
+            scale = n_i / m_i
+            count_est += scale * matched.shape[0]
+            sum_est += scale * float(matched.sum())
+            sumsq_est += scale * float((matched * matched).sum())
+        if count_est <= 0:
+            return QueryResult(math.nan, 0.0, 0.0, False,
+                               n_covered=len(cover),
+                               n_partial=len(partial),
+                               details={"ci": "unavailable"})
+        mean = sum_est / count_est
+        variance = max(0.0, sumsq_est / count_est - mean * mean)
+        est = variance if query.agg is AggFunc.VARIANCE else \
+            math.sqrt(variance)
+        exact = all_exact and not partial
+        return QueryResult(est, 0.0, 0.0, exact,
+                           n_covered=len(cover), n_partial=len(partial),
+                           details={"ci": "unavailable"})
+
+    def _query_minmax(self, query: Query, cover: List[DPTNode],
+                      partial: List[DPTNode],
+                      leaf_samples: LeafSamplesFn) -> QueryResult:
+        pos = self.stat_pos(query.attr)
+        is_max = query.agg is AggFunc.MAX
+        candidates: List[float] = []
+        all_exact = True
+        for node in cover:
+            value, exact = (node.max_estimate(pos) if is_max
+                            else node.min_estimate(pos))
+            if value is not None:
+                candidates.append(value)
+                all_exact = all_exact and exact
+        for leaf in partial:
+            rows = leaf_samples(leaf)
+            matched, _ = self._matched(
+                query.with_agg(AggFunc.SUM, query.attr), rows)
+            if matched.shape[0]:
+                candidates.append(float(matched.max() if is_max
+                                        else matched.min()))
+        if not candidates:
+            return QueryResult(math.nan, 0.0, 0.0, False,
+                               n_covered=len(cover), n_partial=len(partial))
+        est = max(candidates) if is_max else min(candidates)
+        exact = all_exact and not partial
+        return QueryResult(est, 0.0, 0.0, exact,
+                           n_covered=len(cover), n_partial=len(partial))
+
+
+def _rect_distance(rect: Rectangle, coords: Sequence[float]) -> float:
+    """L1 distance from a point to a rectangle (0 when inside)."""
+    dist = 0.0
+    for lo, hi, x in zip(rect.lo, rect.hi, coords):
+        if x < lo:
+            dist += lo - x
+        elif x > hi:
+            dist += x - hi
+    return dist

@@ -1,0 +1,119 @@
+"""Sample-side estimators and variance formulas (paper Appendix C).
+
+These functions compute the contribution of one *partially covered* leaf
+to a query estimate, from the leaf's synopsis-resident stratified sample.
+Conventions follow Table 1: the leaf holds ``m_i`` samples of a partition
+with (estimated) population ``n_i``; ``matched`` are the samples
+satisfying the query predicate.
+
+For SUM/COUNT (weights ``w_i = 1``)::
+
+    est  = (n_i / m_i) * sum(matched a)
+    nu_s = n_i^2 / m_i^3 * (m_i * sum(matched a^2) - (sum(matched a))^2)
+
+COUNT is SUM over ``a = 1``.  For AVG the weights are ``w_i = n_i / n_q``
+and the estimator averages only the matched samples::
+
+    est  = n_i / (|matched| * n_q) * sum(matched a)
+    nu_s = w_i^2 / (m_i * |matched|^2) * (m_i * sum(a^2) - (sum a)^2)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class PartialContribution:
+    """One partial leaf's estimate and variance contribution."""
+
+    estimate: float
+    variance: float
+    n_matched: int
+
+
+def sum_partial(n_i: float, m_i: int, matched_values: np.ndarray
+                ) -> PartialContribution:
+    """SUM contribution of a partial leaf (COUNT: pass ones)."""
+    if m_i <= 0:
+        return PartialContribution(0.0, 0.0, 0)
+    s = float(matched_values.sum())
+    s2 = float((matched_values * matched_values).sum())
+    est = (n_i / m_i) * s
+    var = (n_i * n_i) / (m_i ** 3) * max(0.0, m_i * s2 - s * s)
+    return PartialContribution(est, var, int(matched_values.shape[0]))
+
+
+def count_partial(n_i: float, m_i: int, n_matched: int
+                  ) -> PartialContribution:
+    """COUNT contribution of a partial leaf."""
+    if m_i <= 0:
+        return PartialContribution(0.0, 0.0, 0)
+    c = float(n_matched)
+    est = (n_i / m_i) * c
+    var = (n_i * n_i) / (m_i ** 3) * max(0.0, m_i * c - c * c)
+    return PartialContribution(est, var, n_matched)
+
+
+def avg_partial(n_i: float, n_q: float, m_i: int,
+                matched_values: np.ndarray) -> PartialContribution:
+    """AVG contribution of a partial leaf (weight ``w_i = n_i / n_q``)."""
+    n_matched = int(matched_values.shape[0])
+    if m_i <= 0 or n_matched == 0 or n_q <= 0:
+        return PartialContribution(0.0, 0.0, n_matched)
+    s = float(matched_values.sum())
+    s2 = float((matched_values * matched_values).sum())
+    w = n_i / n_q
+    est = (n_i / (n_matched * n_q)) * s
+    var = (w * w) / (m_i * n_matched * n_matched) * \
+        max(0.0, m_i * s2 - s * s)
+    return PartialContribution(est, var, n_matched)
+
+
+def avg_covered_estimate(n_i: float, n_q: float, h_i: int,
+                         catchup_sum: float, exact: bool,
+                         exact_sum: float) -> float:
+    """AVG contribution of a covered node: ``w_i * mean(phi(H_i))``.
+
+    Exact nodes contribute ``exact_sum / n_q`` directly (their sum is
+    known); sampled nodes contribute ``n_i / (h_i * n_q) * sum(H_i a)``.
+    """
+    if n_q <= 0:
+        return 0.0
+    if exact:
+        return exact_sum / n_q
+    if h_i <= 0:
+        return exact_sum / n_q    # delta-only node: exact_sum is the delta
+    return (n_i / (h_i * n_q)) * catchup_sum
+
+
+def uniform_estimate(agg: str, n_total: float, m: int,
+                     matched_values: np.ndarray) -> PartialContribution:
+    """Plain uniform-sampling estimator (RS baseline, Section 6.1.3)."""
+    n_matched = int(matched_values.shape[0])
+    if m <= 0:
+        return PartialContribution(0.0, 0.0, 0)
+    if agg == "COUNT":
+        return count_partial(n_total, m, n_matched)
+    if agg == "SUM":
+        return sum_partial(n_total, m, matched_values)
+    if agg == "AVG":
+        if n_matched == 0:
+            return PartialContribution(math.nan, 0.0, 0)
+        mean = float(matched_values.mean())
+        if n_matched > 1:
+            var = float(matched_values.var(ddof=1)) / n_matched
+        else:
+            var = 0.0
+        return PartialContribution(mean, var, n_matched)
+    if agg == "MIN":
+        est = float(matched_values.min()) if n_matched else math.nan
+        return PartialContribution(est, 0.0, n_matched)
+    if agg == "MAX":
+        est = float(matched_values.max()) if n_matched else math.nan
+        return PartialContribution(est, 0.0, n_matched)
+    raise ValueError(f"unknown aggregate {agg}")

@@ -1,0 +1,448 @@
+"""JanusAQP: the full dynamic AQP system (paper Sections 3-5).
+
+:class:`JanusAQP` wires together every substrate:
+
+* a :class:`~repro.core.table.Table` playing archival storage,
+* a :class:`~repro.sampling.reservoir.DynamicReservoir` pooled sample with
+  synopsis-resident row copies and a :class:`~repro.index.range_index.
+  RangeIndex` over the predicate coordinates (the "store S only once in a
+  dynamic range tree" of Section 5.5),
+* a :class:`~repro.core.dpt.DynamicPartitionTree` whose leaf strata are
+  virtual partitions of the pool (:class:`~repro.sampling.stratified.
+  StrataView`),
+* the partitioners of Section 5 (binary-search in 1-D, greedy k-d tree in
+  higher dimensions),
+* the :class:`~repro.core.catchup.CatchupRunner` re-initialization
+  pipeline of Figure 4, and
+* the :class:`~repro.core.triggers.RepartitionTrigger` drift monitor.
+
+Queries never touch the base table: they are answered entirely from node
+statistics and the pooled sample (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..index.range_index import RangeIndex
+from ..partitioning.kdtree import KDTreePartitioner
+from ..partitioning.maxvar import MaxVarOracle
+from ..partitioning.onedim import OneDimPartitioner
+from ..partitioning.spec import PartitionNode
+from ..sampling.reservoir import DynamicReservoir
+from ..sampling.stratified import StrataView
+from .catchup import CatchupReport, CatchupRunner, seed_from_reservoir
+from .dpt import DynamicPartitionTree
+from .node import DPTNode
+from .queries import AggFunc, Query, QueryResult, Rectangle
+from .table import Table
+from .triggers import RepartitionTrigger, TriggerAction, TriggerConfig
+
+
+@dataclass
+class JanusConfig:
+    """Construction knobs (Section 3.1).
+
+    ``k`` - leaf count of the partition tree; ``sample_rate`` - pooled
+    sample size as a fraction of the data (the pool targets twice that,
+    the paper's 2m); ``catchup_rate`` - catch-up goal as a fraction of
+    the snapshot; ``focus_agg`` - the aggregation function the
+    partitioner optimizes for; ``beta``/``check_every`` - trigger
+    parameters; ``auto_repartition`` - act on trigger candidates;
+    ``repartition_every`` - optional periodic forcing (Figure 10).
+    """
+
+    k: int = 128
+    sample_rate: float = 0.01
+    catchup_rate: float = 0.10
+    focus_agg: AggFunc = AggFunc.SUM
+    delta: float = 0.05
+    beta: float = 10.0
+    check_every: int = 256
+    auto_repartition: bool = True
+    repartition_every: Optional[int] = None
+    minmax_k: int = 32
+    seed: int = 0
+    min_pool: int = 128
+
+    @classmethod
+    def from_memory_budget(cls, memory_bytes: int, n_rows: int,
+                           n_attrs: int, **overrides) -> "JanusConfig":
+        """Derive (m, k) from a memory constraint (Section 5.5).
+
+        The synopsis space is ~O(m) samples plus O(k) node statistics;
+        the paper observes that ``k ~ (0.5 / 100) * m`` "always gives a
+        low space and efficient data structure with low error".  Given
+        the budget we solve for the pooled-sample size 2m, derive k from
+        the ratio, and express m as a sample rate of the current data.
+        """
+        if memory_bytes <= 0 or n_rows <= 0 or n_attrs <= 0:
+            raise ValueError("budget, rows and attrs must be positive")
+        row_bytes = 8 * n_attrs                 # one f64 sample row
+        node_bytes = (6 * n_attrs + 4) * 8      # per-node statistics
+        # budget = 2m * row_bytes + 2k * node_bytes with k = m / 200
+        per_m = 2 * row_bytes + 2 * node_bytes / 200.0
+        m = max(32, int(memory_bytes / per_m))
+        k = max(2, int(round(m * 0.5 / 100)))
+        sample_rate = min(0.5, m / n_rows)
+        params = dict(k=k, sample_rate=sample_rate)
+        params.update(overrides)
+        return cls(**params)
+
+
+@dataclass
+class ReoptReport:
+    """Timings of one re-initialization (Figure 4 / Figure 5 right)."""
+
+    optimize_seconds: float = 0.0     # phase 1: partition optimization
+    blocking_seconds: float = 0.0     # phase 2: seed stats from the pool
+    catchup: CatchupReport = field(default_factory=CatchupReport)
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.optimize_seconds + self.blocking_seconds +
+                self.catchup.total_seconds)
+
+
+class JanusAQP:
+    """A dynamic AQP synopsis over one query template."""
+
+    def __init__(self, table: Table, agg_attr: str,
+                 predicate_attrs: Sequence[str],
+                 config: Optional[JanusConfig] = None,
+                 stat_attrs: Optional[Sequence[str]] = None) -> None:
+        self.table = table
+        self.agg_attr = agg_attr
+        self.predicate_attrs = tuple(predicate_attrs)
+        self.config = config or JanusConfig()
+        self.stat_attrs = tuple(stat_attrs) if stat_attrs else table.schema
+        if agg_attr not in self.stat_attrs:
+            raise ValueError("agg_attr must be tracked in stat_attrs")
+        self._rng = np.random.default_rng(self.config.seed)
+        self._pred_idx = [table.col_index(a) for a in self.predicate_attrs]
+        self._agg_idx = table.col_index(agg_attr)
+        self._lock = threading.RLock()
+
+        target = max(self.config.min_pool,
+                     int(2 * self.config.sample_rate * max(len(table), 1)))
+        self.reservoir = DynamicReservoir(table, target,
+                                          seed=self.config.seed + 1)
+        self._sample_rows: Dict[int, np.ndarray] = {}
+        self.sample_index = RangeIndex(len(self.predicate_attrs),
+                                       seed=self.config.seed + 2)
+        self.reservoir.subscribe(_SampleSync(self))
+
+        self.dpt: Optional[DynamicPartitionTree] = None
+        self.strata: Optional[StrataView] = None
+        self.trigger: Optional[RepartitionTrigger] = None
+        self.n_repartitions = 0
+        self.last_reopt: Optional[ReoptReport] = None
+
+    # ------------------------------------------------------------------ #
+    # construction / re-initialization (Figure 4)
+    # ------------------------------------------------------------------ #
+    def initialize(self, catchup_goal: Optional[int] = None) -> ReoptReport:
+        """Build the first synopsis from the current table state."""
+        with self._lock:
+            self.reservoir.initialize()
+            return self._reinitialize(catchup_goal)
+
+    def reoptimize(self, catchup_goal: Optional[int] = None) -> ReoptReport:
+        """Full re-partitioning over the current pooled sample."""
+        with self._lock:
+            report = self._reinitialize(catchup_goal)
+            self.n_repartitions += 1
+            return report
+
+    def reoptimize_async(self, catchup_goal: Optional[int] = None,
+                         batch_size: int = 512) -> threading.Thread:
+        """The multi-threaded re-initialization pipeline of Figure 4.
+
+        Phase 1 (parallel): the partition optimizer runs on a *snapshot*
+        of the pooled sample in a worker thread while the main thread
+        keeps maintaining the old synopsis and answering queries.
+        Phase 2 (blocking): the new tree is installed and seeded - the
+        only period during which updates/queries wait on the lock.
+        Phases 4-5: the pool is resampled and catch-up proceeds in small
+        batches, yielding the lock between batches so new requests
+        interleave.  Returns the worker thread; ``join()`` it to wait
+        for catch-up completion.
+        """
+        with self._lock:
+            coords, values, _ = self.sample_index.all_items()
+            n_pop = max(len(self.table), 1)
+            domains = [self.table.domain(a) for a in self.predicate_attrs]
+
+        def work() -> None:
+            spec = self._partition_snapshot(coords, values, n_pop,
+                                            domains)
+            with self._lock:                     # phase 2: blocking swap
+                self._install(spec)
+                target = max(self.config.min_pool,
+                             int(2 * self.config.sample_rate *
+                                 len(self.table)))
+                self.reservoir.set_target(target, resample=True)
+                snapshot = self.table.live_tids()
+                n0 = len(self.table)
+                self.n_repartitions += 1
+            goal = catchup_goal if catchup_goal is not None else \
+                int(self.config.catchup_rate * n0)
+            goal = min(goal, snapshot.size)
+            rng = np.random.default_rng(int(self._rng.integers(2 ** 31)))
+            order = rng.permutation(snapshot)[:goal]
+            for start in range(0, order.size, batch_size):
+                chunk = order[start:start + batch_size]
+                with self._lock:                 # phase 5, interleaved
+                    for tid in chunk:
+                        tid = int(tid)
+                        if tid in self.table:
+                            self.dpt.add_catchup_row(self.table.row(tid))
+            with self._lock:
+                if self.trigger is not None:
+                    self.trigger.rebase(self.dpt)
+
+        thread = threading.Thread(target=work, daemon=True,
+                                  name="janus-reoptimize")
+        thread.start()
+        return thread
+
+    def _partition_snapshot(self, coords: np.ndarray, values: np.ndarray,
+                            n_pop: int, domains) -> PartitionNode:
+        """Partition a frozen copy of the pool (runs without the lock)."""
+        if coords.shape[0] == 0:
+            raise RuntimeError("cannot partition: empty sample pool")
+        if len(self.predicate_attrs) == 1:
+            return OneDimPartitioner(
+                self.config.focus_agg, delta=self.config.delta).partition(
+                    coords[:, 0], values, self.config.k,
+                    n_population=n_pop, domain=domains[0]).tree
+        snapshot_index = RangeIndex(len(self.predicate_attrs),
+                                    seed=self.config.seed + 3)
+        for i in range(coords.shape[0]):
+            snapshot_index.insert(i, coords[i], float(values[i]))
+        lo = tuple(d[0] for d in domains)
+        hi = tuple(d[1] for d in domains)
+        return KDTreePartitioner(
+            self.config.focus_agg, delta=self.config.delta).partition(
+                snapshot_index, self.config.k, n_population=n_pop,
+                root_rect=Rectangle(lo, hi)).tree
+
+    def _reinitialize(self, catchup_goal: Optional[int]) -> ReoptReport:
+        report = ReoptReport()
+        # Phase 1: partition optimization over the current pooled sample.
+        t0 = time.perf_counter()
+        spec = self._compute_partitioning()
+        report.optimize_seconds = time.perf_counter() - t0
+        # Phase 2 (blocking): build the new tree, seed stats from the pool.
+        t1 = time.perf_counter()
+        self._install(spec)
+        report.blocking_seconds = time.perf_counter() - t1
+        # Phase 4: resample a fresh pool sized to the *current* data
+        # ("the system resamples a uniform sample of data from archival
+        # storage to be the new pooled reservoir sample").
+        target = max(self.config.min_pool,
+                     int(2 * self.config.sample_rate * len(self.table)))
+        self.reservoir.set_target(target, resample=True)
+        # Phase 5: background catch-up from archival storage.
+        goal = catchup_goal if catchup_goal is not None else \
+            int(self.config.catchup_rate * len(self.table))
+        runner = CatchupRunner(self.dpt,
+                               seed=int(self._rng.integers(2 ** 31)))
+        report.catchup = runner.run_from_table(
+            self.table, self.table.live_tids(), goal)
+        if self.trigger is not None:
+            self.trigger.rebase(self.dpt)
+        self.last_reopt = report
+        return report
+
+    def _compute_partitioning(self) -> PartitionNode:
+        d = len(self.predicate_attrs)
+        n = max(len(self.table), 1)
+        m = max(len(self.sample_index), 1)
+        if d == 1:
+            coords, values, _ = self.sample_index.all_items()
+            if coords.shape[0] == 0:
+                raise RuntimeError("cannot partition: empty sample pool")
+            domain = self.table.domain(self.predicate_attrs[0])
+            result = OneDimPartitioner(
+                self.config.focus_agg, delta=self.config.delta).partition(
+                    coords[:, 0], values, self.config.k,
+                    n_population=n, domain=domain)
+            return result.tree
+        lo = tuple(self.table.domain(a)[0] for a in self.predicate_attrs)
+        hi = tuple(self.table.domain(a)[1] for a in self.predicate_attrs)
+        result = KDTreePartitioner(
+            self.config.focus_agg, delta=self.config.delta).partition(
+                self.sample_index, self.config.k, n_population=n,
+                root_rect=Rectangle(lo, hi))
+        return result.tree
+
+    def _install(self, spec: PartitionNode) -> None:
+        """Blocking step: swap in the new tree and seed it from the pool."""
+        dpt = DynamicPartitionTree(
+            spec, self.table.schema, self.predicate_attrs,
+            stat_attrs=self.stat_attrs, minmax_attrs=(self.agg_attr,),
+            minmax_k=self.config.minmax_k)
+        dpt.set_population(len(self.table))
+        seed_from_reservoir(dpt, (self._sample_rows[t]
+                                  for t in self.reservoir.tids()))
+        self.dpt = dpt
+        self._install_support_structures()
+
+    def _install_support_structures(self) -> None:
+        """(Re)wire strata routing and the trigger for the current tree.
+
+        Used by every (re-)initialization path and by snapshot restore
+        (:mod:`repro.core.persist`).
+        """
+        if self.strata is not None:
+            self.strata.reroute(self._route_tid)
+        else:
+            self.strata = StrataView(self.reservoir, self._route_tid)
+        oracle = MaxVarOracle(self.sample_index, self.config.focus_agg,
+                              len(self.table) / max(len(self.sample_index),
+                                                    1),
+                              delta=self.config.delta)
+        trig_cfg = TriggerConfig(
+            beta=self.config.beta, check_every=self.config.check_every,
+            every_n_updates=self.config.repartition_every)
+        self.trigger = RepartitionTrigger(trig_cfg, oracle, self.strata)
+        self.trigger.rebase(self.dpt)
+
+    def _route_tid(self, tid: int) -> Optional[int]:
+        row = self._sample_rows.get(tid)
+        if row is None or self.dpt is None:
+            return None
+        return self.dpt.route_leaf(row[self._pred_idx]).node_id
+
+    # ------------------------------------------------------------------ #
+    # request processing (Section 3.2)
+    # ------------------------------------------------------------------ #
+    def insert(self, values: Sequence[float]) -> int:
+        """Insert a tuple: table, reservoir, and tree path all update."""
+        with self._lock:
+            tid = self.table.insert(values)
+            row = self.table.row(tid)
+            leaf = self.dpt.insert_row(row) if self.dpt else None
+            self.reservoir.on_insert(tid)
+            self._maybe_grow_pool()
+            if leaf is not None:
+                self._after_update(leaf)
+            return tid
+
+    def _maybe_grow_pool(self) -> None:
+        """Track the paper's standing pool size 2m = 2 * rate * |D|.
+
+        Growth is applied by resampling (a grown target filled only by
+        future arrivals would bias the pool), amortized by the 25%
+        hysteresis so steady insertion costs O(1) per tuple.
+        """
+        want = max(self.config.min_pool,
+                   int(2 * self.config.sample_rate * len(self.table)))
+        if want > 1.25 * self.reservoir.target_size:
+            self.reservoir.set_target(want, resample=True)
+
+    def delete(self, tid: int) -> None:
+        """Delete a live tuple by id."""
+        with self._lock:
+            row = self.table.delete(tid)
+            leaf = self.dpt.delete_row(row) if self.dpt else None
+            self.reservoir.on_delete(tid)
+            if leaf is not None:
+                self._after_update(leaf)
+
+    def _after_update(self, leaf: DPTNode) -> None:
+        if self.trigger is None:
+            return
+        action = self.trigger.on_update(self.dpt, leaf)
+        if action is TriggerAction.NONE:
+            return
+        if action is TriggerAction.FORCED:
+            self.reoptimize()
+            return
+        if not self.config.auto_repartition:
+            return
+        # Candidate: compute a fresh partitioning and apply the
+        # commit rule M(R') < M(R) / beta (Section 5.4).
+        old_m = self.trigger.current_max_variance(self.dpt)
+        try:
+            spec = self._compute_partitioning()
+        except (RuntimeError, ValueError):
+            return
+        new_dpt = DynamicPartitionTree(
+            spec, self.table.schema, self.predicate_attrs,
+            stat_attrs=self.stat_attrs)
+        new_m = max((self.trigger.oracle.max_variance(leaf.rect).variance
+                     for leaf in new_dpt.leaves), default=0.0)
+        if self.trigger.confirm(new_m, old_m):
+            self.reoptimize()
+
+    # ------------------------------------------------------------------ #
+    # query processing
+    # ------------------------------------------------------------------ #
+    def query(self, query: Query) -> QueryResult:
+        """Answer from the synopsis only (zero base-table access)."""
+        with self._lock:
+            if self.dpt is None:
+                raise RuntimeError("synopsis not initialized")
+            return self.dpt.query(query, self._leaf_samples)
+
+    def _leaf_samples(self, leaf: DPTNode) -> np.ndarray:
+        tids = self.strata.stratum(leaf.node_id) if self.strata else ()
+        if not tids:
+            return np.empty((0, len(self.table.schema)))
+        return np.stack([self._sample_rows[t] for t in tids])
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def pool_size(self) -> int:
+        return len(self.reservoir)
+
+    def storage_cost_bytes(self) -> int:
+        """Approximate synopsis footprint: samples + node statistics."""
+        n_schema = len(self.table.schema)
+        sample_bytes = len(self._sample_rows) * n_schema * 8
+        node_bytes = 0
+        if self.dpt is not None:
+            per_node = (6 * len(self.dpt.stat_attrs) + 4) * 8
+            node_bytes = sum(1 for _ in self.dpt.nodes()) * per_node
+        return sample_bytes + node_bytes
+
+
+class _SampleSync:
+    """Keeps synopsis-resident sample rows and the range index in step."""
+
+    def __init__(self, owner: JanusAQP) -> None:
+        self._owner = owner
+
+    def on_add(self, tid: int) -> None:
+        owner = self._owner
+        row = owner.table.row(tid).copy()
+        owner._sample_rows[tid] = row
+        owner.sample_index.insert(tid, row[owner._pred_idx],
+                                  float(row[owner._agg_idx]))
+
+    def on_remove(self, tid: int) -> None:
+        owner = self._owner
+        owner._sample_rows.pop(tid, None)
+        if tid in owner.sample_index:
+            owner.sample_index.delete(tid)
+
+    def on_reset(self, tids: List[int]) -> None:
+        owner = self._owner
+        owner._sample_rows = {}
+        owner.sample_index = RangeIndex(len(owner.predicate_attrs),
+                                        seed=owner.config.seed + 2)
+        for tid in tids:
+            self.on_add(tid)
+        # Oracles hold a reference to the old index: refresh them.
+        if owner.trigger is not None:
+            owner.trigger.oracle.index = owner.sample_index

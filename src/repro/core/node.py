@@ -1,0 +1,193 @@
+"""DPT node statistics (paper Section 4.1 / 4.4).
+
+Each partition-tree node stores, per tracked attribute:
+
+* **base statistics** - exact SUM/COUNT/sum-of-squares when the node was
+  populated by a full scan (the SPT case), empty otherwise;
+* **catch-up accumulators** - ``h_i`` (number of catch-up samples routed
+  through the node) and the running ``sum a`` / ``sum a^2`` of those
+  samples.  Scaled by ``N0 / h`` these give unbiased estimates of the
+  node's snapshot statistics, with the variance of Appendix C;
+* **exact deltas** - running SUM/COUNT of tuples inserted/deleted *after*
+  the synopsis epoch started.  These carry no estimation variance;
+* **MIN/MAX heaps** - top-k/bottom-k of post-epoch inserted values plus
+  the extremes seen among catch-up samples.
+
+A node's estimate of any statistic is (catch-up estimate or exact base)
+plus the net delta; its catch-up variance vanishes when the node is exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..index.topk import MinMaxStats
+from .queries import Rectangle
+
+
+class DPTNode:
+    """One node of a (dynamic or static) partition tree."""
+
+    __slots__ = ("node_id", "rect", "children", "parent",
+                 "h", "csum", "csumsq", "cmin", "cmax",
+                 "delta_count", "dsum", "dsumsq",
+                 "base_count", "bsum", "bsumsq", "exact",
+                 "minmax")
+
+    def __init__(self, node_id: int, rect: Rectangle, n_stats: int,
+                 minmax_attrs: Tuple[int, ...] = (),
+                 minmax_k: int = 32) -> None:
+        self.node_id = node_id
+        self.rect = rect
+        self.children: List["DPTNode"] = []
+        self.parent: Optional["DPTNode"] = None
+        # catch-up accumulators
+        self.h = 0
+        self.csum = np.zeros(n_stats)
+        self.csumsq = np.zeros(n_stats)
+        self.cmin = np.full(n_stats, math.inf)
+        self.cmax = np.full(n_stats, -math.inf)
+        # exact post-epoch deltas
+        self.delta_count = 0
+        self.dsum = np.zeros(n_stats)
+        self.dsumsq = np.zeros(n_stats)
+        # exact base (SPT mode)
+        self.base_count = 0
+        self.bsum = np.zeros(n_stats)
+        self.bsumsq = np.zeros(n_stats)
+        self.exact = False
+        # MIN/MAX heaps per tracked attribute position
+        self.minmax: Dict[int, MinMaxStats] = {
+            pos: MinMaxStats(minmax_k) for pos in minmax_attrs}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add_catchup(self, stat_values: np.ndarray) -> None:
+        self.h += 1
+        self.csum += stat_values
+        self.csumsq += stat_values * stat_values
+        np.minimum(self.cmin, stat_values, out=self.cmin)
+        np.maximum(self.cmax, stat_values, out=self.cmax)
+
+    def apply_insert(self, stat_values: np.ndarray) -> None:
+        self.delta_count += 1
+        self.dsum += stat_values
+        self.dsumsq += stat_values * stat_values
+        for pos, mm in self.minmax.items():
+            mm.insert(float(stat_values[pos]))
+
+    def apply_delete(self, stat_values: np.ndarray) -> None:
+        self.delta_count -= 1
+        self.dsum -= stat_values
+        self.dsumsq -= stat_values * stat_values
+        for pos, mm in self.minmax.items():
+            mm.delete(float(stat_values[pos]))
+
+    def set_exact_base(self, count: int, sums: np.ndarray,
+                       sumsqs: np.ndarray,
+                       mins: Optional[np.ndarray] = None,
+                       maxs: Optional[np.ndarray] = None) -> None:
+        """Populate exact statistics from a full scan (SPT construction)."""
+        self.exact = True
+        self.base_count = int(count)
+        self.bsum = np.asarray(sums, dtype=np.float64).copy()
+        self.bsumsq = np.asarray(sumsqs, dtype=np.float64).copy()
+        if mins is not None:
+            self.cmin = np.asarray(mins, dtype=np.float64).copy()
+        if maxs is not None:
+            self.cmax = np.asarray(maxs, dtype=np.float64).copy()
+
+    # ------------------------------------------------------------------ #
+    # estimates - `h_total`/`n0` are the tree-level catch-up totals
+    # ------------------------------------------------------------------ #
+    def count_estimate(self, n0: int, h_total: int) -> float:
+        """N_i estimate: snapshot part plus exact net delta."""
+        if self.exact:
+            return float(self.base_count + self.delta_count)
+        if h_total <= 0:
+            return float(max(self.delta_count, 0))
+        return (self.h / h_total) * n0 + self.delta_count
+
+    def sum_estimate(self, pos: int, n0: int, h_total: int) -> float:
+        if self.exact:
+            return float(self.bsum[pos] + self.dsum[pos])
+        if h_total <= 0:
+            return float(self.dsum[pos])
+        return (n0 / h_total) * float(self.csum[pos]) + float(self.dsum[pos])
+
+    def sumsq_estimate(self, pos: int, n0: int, h_total: int) -> float:
+        """Estimate of sum(a^2) over the node (for VARIANCE/STDDEV)."""
+        if self.exact:
+            return float(self.bsumsq[pos] + self.dsumsq[pos])
+        if h_total <= 0:
+            return float(self.dsumsq[pos])
+        return (n0 / h_total) * float(self.csumsq[pos]) + \
+            float(self.dsumsq[pos])
+
+    def catchup_count_base(self, n0: int, h_total: int) -> float:
+        """The snapshot-only part of the count estimate (for variances)."""
+        if self.exact or h_total <= 0:
+            return float(self.base_count) if self.exact else 0.0
+        return (self.h / h_total) * n0
+
+    def catchup_var_sum(self, pos: int, n0: int, h_total: int) -> float:
+        """Appendix C: nu_c term of this node for a SUM/COUNT query."""
+        if self.exact or self.h <= 0 or h_total <= 0:
+            return 0.0
+        n_hat = self.catchup_count_base(n0, h_total)
+        s = float(self.csum[pos])
+        s2 = float(self.csumsq[pos])
+        val = self.h * s2 - s * s
+        return max(0.0, (n_hat * n_hat) / (self.h ** 3) * val)
+
+    def catchup_var_avg(self, pos: int, w_i: float) -> float:
+        """Appendix C: nu_c term for an AVG query given weight w_i."""
+        if self.exact or self.h <= 0:
+            return 0.0
+        s = float(self.csum[pos])
+        s2 = float(self.csumsq[pos])
+        val = self.h * s2 - s * s
+        return max(0.0, (w_i * w_i) / (self.h ** 3) * val)
+
+    def catchup_mean_sum(self, pos: int) -> float:
+        """Sum of catch-up sample values (for AVG contributions)."""
+        return float(self.csum[pos])
+
+    def min_estimate(self, pos: int) -> Tuple[Optional[float], bool]:
+        """(estimate, exactness) of the node MIN over the tracked attr."""
+        candidates = []
+        exact = self.exact
+        if math.isfinite(self.cmin[pos]):
+            candidates.append(float(self.cmin[pos]))
+        mm = self.minmax.get(pos)
+        if mm is not None and mm.min_value is not None:
+            candidates.append(mm.min_value)
+            exact = exact and mm.min_exact
+        if not candidates:
+            return None, False
+        # Sampled nodes: the observed min is an inner approximation.
+        return min(candidates), exact
+
+    def max_estimate(self, pos: int) -> Tuple[Optional[float], bool]:
+        candidates = []
+        exact = self.exact
+        if math.isfinite(self.cmax[pos]):
+            candidates.append(float(self.cmax[pos]))
+        mm = self.minmax.get(pos)
+        if mm is not None and mm.max_value is not None:
+            candidates.append(mm.max_value)
+            exact = exact and mm.max_exact
+        if not candidates:
+            return None, False
+        return max(candidates), exact
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "internal"
+        return (f"DPTNode({self.node_id}, {kind}, h={self.h}, "
+                f"delta={self.delta_count})")

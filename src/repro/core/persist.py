@@ -1,0 +1,203 @@
+"""Synopsis persistence: save/load a JanusAQP state snapshot.
+
+A deployed AQP service must survive restarts without re-running the full
+initialization pipeline.  The synopsis state is small by design (that is
+the point of the paper): the partition-tree node statistics plus the
+pooled sample rows.  We serialize both into a single ``.npz`` archive -
+flat numpy arrays plus one JSON metadata string, no pickling - and
+restore against the same archival table.
+
+What is saved: the tree structure (parent links + rectangles), every
+node's catch-up accumulators / exact deltas / base statistics, the
+MIN/MAX heap contents, the epoch population ``n0``, the pooled sample
+(tids + rows) and the configuration.  What is *not* saved: the trigger
+baselines (recomputed on load) and any in-flight catch-up progress
+beyond the accumulators (already folded into the statistics).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .dpt import DynamicPartitionTree
+from .janus import JanusAQP, JanusConfig
+from .node import DPTNode
+from .queries import AggFunc, Rectangle
+from .table import Table
+
+_FORMAT_VERSION = 1
+
+
+def save_synopsis(janus: JanusAQP, path: str) -> None:
+    """Serialize a JanusAQP synopsis to ``path`` (.npz archive)."""
+    dpt = janus.dpt
+    if dpt is None:
+        raise RuntimeError("cannot save an uninitialized synopsis")
+    nodes = list(dpt.nodes())
+    index_of = {node.node_id: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    d = len(dpt.predicate_attrs)
+    s = len(dpt.stat_attrs)
+
+    parent = np.full(n, -1, dtype=np.int64)
+    rect_lo = np.empty((n, d))
+    rect_hi = np.empty((n, d))
+    h = np.empty(n)
+    delta_count = np.empty(n, dtype=np.int64)
+    base_count = np.empty(n, dtype=np.int64)
+    exact = np.zeros(n, dtype=bool)
+    csum = np.empty((n, s))
+    csumsq = np.empty((n, s))
+    cmin = np.empty((n, s))
+    cmax = np.empty((n, s))
+    dsum = np.empty((n, s))
+    dsumsq = np.empty((n, s))
+    bsum = np.empty((n, s))
+    bsumsq = np.empty((n, s))
+    minmax_payload: List[Dict] = []
+    for i, node in enumerate(nodes):
+        if node.parent is not None:
+            parent[i] = index_of[node.parent.node_id]
+        rect_lo[i] = node.rect.lo
+        rect_hi[i] = node.rect.hi
+        h[i] = node.h
+        delta_count[i] = node.delta_count
+        base_count[i] = node.base_count
+        exact[i] = node.exact
+        csum[i], csumsq[i] = node.csum, node.csumsq
+        cmin[i], cmax[i] = node.cmin, node.cmax
+        dsum[i], dsumsq[i] = node.dsum, node.dsumsq
+        bsum[i], bsumsq[i] = node.bsum, node.bsumsq
+        minmax_payload.append({
+            str(pos): {
+                "max": mm._max.values(), "min": mm._min.values(),
+                "max_exact": mm._max.exact, "min_exact": mm._min.exact,
+            } for pos, mm in node.minmax.items()})
+
+    pool_tids = np.array(janus.reservoir.tids(), dtype=np.int64)
+    pool_rows = (np.stack([janus._sample_rows[t] for t in pool_tids])
+                 if pool_tids.size else
+                 np.empty((0, len(janus.table.schema))))
+
+    config = dataclasses.asdict(janus.config)
+    config["focus_agg"] = janus.config.focus_agg.value
+    meta = {
+        "version": _FORMAT_VERSION,
+        "schema": list(janus.table.schema),
+        "agg_attr": janus.agg_attr,
+        "predicate_attrs": list(janus.predicate_attrs),
+        "stat_attrs": list(dpt.stat_attrs),
+        "n0": dpt.n0,
+        "n_repartitions": janus.n_repartitions,
+        "config": config,
+        "minmax": minmax_payload,
+        "minmax_attrs": [dpt.stat_attrs[p] for p in
+                         sorted(nodes[0].minmax)] if nodes else [],
+    }
+    np.savez_compressed(
+        path, meta=json.dumps(meta), parent=parent, rect_lo=rect_lo,
+        rect_hi=rect_hi, h=h, delta_count=delta_count,
+        base_count=base_count, exact=exact, csum=csum, csumsq=csumsq,
+        cmin=cmin, cmax=cmax, dsum=dsum, dsumsq=dsumsq, bsum=bsum,
+        bsumsq=bsumsq, pool_tids=pool_tids, pool_rows=pool_rows)
+
+
+def load_synopsis(path: str, table: Table) -> JanusAQP:
+    """Restore a synopsis saved by :func:`save_synopsis`.
+
+    ``table`` must be the same archival store (or a restored copy with
+    the same schema and tids); pool members whose tuples no longer exist
+    are dropped.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        if meta["version"] != _FORMAT_VERSION:
+            raise ValueError(f"unsupported snapshot version "
+                             f"{meta['version']}")
+        if list(table.schema) != meta["schema"]:
+            raise ValueError("table schema does not match the snapshot")
+        cfg_dict = dict(meta["config"])
+        cfg_dict["focus_agg"] = AggFunc(cfg_dict["focus_agg"])
+        config = JanusConfig(**cfg_dict)
+        janus = JanusAQP(table, meta["agg_attr"],
+                         meta["predicate_attrs"], config=config,
+                         stat_attrs=meta["stat_attrs"])
+        janus.n_repartitions = int(meta["n_repartitions"])
+
+        # ---- rebuild the node graph ---------------------------------- #
+        parent = archive["parent"]
+        n = parent.shape[0]
+        stat_attrs = tuple(meta["stat_attrs"])
+        mm_pos = tuple(stat_attrs.index(a) for a in meta["minmax_attrs"])
+        nodes: List[DPTNode] = []
+        for i in range(n):
+            rect = Rectangle(tuple(archive["rect_lo"][i]),
+                             tuple(archive["rect_hi"][i]))
+            node = DPTNode(i, rect, len(stat_attrs),
+                           minmax_attrs=mm_pos,
+                           minmax_k=config.minmax_k)
+            node.h = float(archive["h"][i])
+            node.delta_count = int(archive["delta_count"][i])
+            node.base_count = int(archive["base_count"][i])
+            node.exact = bool(archive["exact"][i])
+            node.csum = archive["csum"][i].copy()
+            node.csumsq = archive["csumsq"][i].copy()
+            node.cmin = archive["cmin"][i].copy()
+            node.cmax = archive["cmax"][i].copy()
+            node.dsum = archive["dsum"][i].copy()
+            node.dsumsq = archive["dsumsq"][i].copy()
+            node.bsum = archive["bsum"][i].copy()
+            node.bsumsq = archive["bsumsq"][i].copy()
+            for pos_str, payload in meta["minmax"][i].items():
+                mm = node.minmax[int(pos_str)]
+                mm._max._values = [float(v) for v in payload["max"]]
+                mm._min._values = [float(v) for v in payload["min"]]
+                mm._max.exact = bool(payload["max_exact"])
+                mm._min.exact = bool(payload["min_exact"])
+            nodes.append(node)
+        root = None
+        for i, node in enumerate(nodes):
+            p = int(parent[i])
+            if p < 0:
+                root = node
+            else:
+                node.parent = nodes[p]
+                nodes[p].children.append(node)
+        if root is None:
+            raise ValueError("snapshot has no root node")
+
+        # graft the restored graph into a DynamicPartitionTree shell
+        dpt = DynamicPartitionTree.__new__(DynamicPartitionTree)
+        dpt.schema = table.schema
+        dpt.predicate_attrs = tuple(meta["predicate_attrs"])
+        dpt.stat_attrs = stat_attrs
+        dpt._stat_pos = {a: i for i, a in enumerate(stat_attrs)}
+        dpt._pred_idx = np.array([table.col_index(a)
+                                  for a in dpt.predicate_attrs])
+        dpt._stat_idx = np.array([table.col_index(a)
+                                  for a in stat_attrs])
+        dpt._mm_pos = mm_pos
+        dpt._minmax_k = config.minmax_k
+        dpt.n0 = int(meta["n0"])
+        dpt._nodes = nodes
+        dpt._next_id = n
+        dpt.root = root
+        dpt.leaves = [node for node in nodes if node.is_leaf]
+        dpt.n_updates = 0
+        janus.dpt = dpt
+
+        # ---- restore the pooled sample ------------------------------- #
+        live_tids = [int(t) for t in archive["pool_tids"]
+                     if int(t) in table]
+        janus.reservoir._members = list(live_tids)
+        janus.reservoir._pos = {t: i for i, t in enumerate(live_tids)}
+        # re-fire observer resets so rows/index/strata rebuild
+        for obs in janus.reservoir._observers:
+            obs.on_reset(list(live_tids))
+    janus._install_support_structures()
+    return janus

@@ -1,0 +1,197 @@
+"""Query model: rectangular predicates and aggregate queries.
+
+A JanusAQP synopsis answers query templates of the form::
+
+    SELECT agg(A) FROM D WHERE Rectangle(D.c1, ..., D.cd)
+
+where ``agg`` is one of SUM/COUNT/AVG/MIN/MAX, ``A`` is the aggregation
+attribute and ``c1..cd`` are predicate attributes (paper, Section 3.1).
+This module defines the geometric predicate (:class:`Rectangle`), the query
+object (:class:`Query`) and the answer envelope (:class:`QueryResult`),
+which carries the estimate together with its confidence interval and the
+two variance components of Section 4.4.1.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+class AggFunc(enum.Enum):
+    """Aggregation functions supported by a partition-tree synopsis.
+
+    VARIANCE and STDDEV are the composition the paper points at in
+    Section 6.6 ("other aggregate functions such as STDDEV that can be
+    composed using SUM and CNT"): they derive from the SUM, COUNT and
+    sum-of-squares statistics every node already maintains.
+    """
+
+    SUM = "SUM"
+    COUNT = "COUNT"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+    VARIANCE = "VARIANCE"
+    STDDEV = "STDDEV"
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """A closed axis-aligned box ``[lo_j, hi_j]`` in d dimensions.
+
+    Rectangles serve three roles in the system: query predicates,
+    partitioning conditions of tree nodes, and witness regions returned by
+    the max-variance oracle.  All intervals are closed on both sides, which
+    matches the paper's conjunctions of ``>=, <=, =`` clauses (an equality
+    clause is a degenerate interval).
+    """
+
+    lo: Tuple[float, ...]
+    hi: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError("lo and hi must have the same dimensionality")
+        for a, b in zip(self.lo, self.hi):
+            if a > b:
+                raise ValueError(f"empty interval [{a}, {b}] in rectangle")
+
+    @property
+    def dim(self) -> int:
+        return len(self.lo)
+
+    @staticmethod
+    def unbounded(dim: int) -> "Rectangle":
+        """The whole space: every point is contained."""
+        return Rectangle((-math.inf,) * dim, (math.inf,) * dim)
+
+    @staticmethod
+    def from_bounds(bounds: Sequence[Tuple[float, float]]) -> "Rectangle":
+        """Build from a list of ``(lo, hi)`` pairs, one per dimension."""
+        los = tuple(float(b[0]) for b in bounds)
+        his = tuple(float(b[1]) for b in bounds)
+        return Rectangle(los, his)
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        return all(a <= x <= b for a, x, b in zip(self.lo, point, self.hi))
+
+    def contains_rect(self, other: "Rectangle") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return all(a <= c and d <= b
+                   for a, b, c, d in
+                   zip(self.lo, self.hi, other.lo, other.hi))
+
+    def intersects(self, other: "Rectangle") -> bool:
+        return all(a <= d and c <= b
+                   for a, b, c, d in
+                   zip(self.lo, self.hi, other.lo, other.hi))
+
+    def intersection(self, other: "Rectangle") -> Optional["Rectangle"]:
+        """The overlap box, or ``None`` when the rectangles are disjoint."""
+        lo = tuple(max(a, c) for a, c in zip(self.lo, other.lo))
+        hi = tuple(min(b, d) for b, d in zip(self.hi, other.hi))
+        if any(a > b for a, b in zip(lo, hi)):
+            return None
+        return Rectangle(lo, hi)
+
+    def split(self, dim: int, x: float) -> Tuple["Rectangle", "Rectangle"]:
+        """Split into left (``coord <= x``) and right (``coord > x``) halves.
+
+        The right half starts at ``nextafter(x, inf)`` so the two children
+        are disjoint while their union covers the parent, preserving the
+        partition-tree invariants of Section 2.3.1.
+        """
+        if not (self.lo[dim] <= x < self.hi[dim]):
+            # x == hi would leave an empty right half; callers splitting
+            # at a median guard this by falling back to the midpoint.
+            raise ValueError(f"cannot split [{self.lo[dim]}, "
+                             f"{self.hi[dim]}] at {x} on dim {dim}")
+        left_hi = list(self.hi)
+        left_hi[dim] = x
+        right_lo = list(self.lo)
+        right_lo[dim] = math.nextafter(x, math.inf)
+        return (Rectangle(self.lo, tuple(left_hi)),
+                Rectangle(tuple(right_lo), self.hi))
+
+    def widths(self) -> Tuple[float, ...]:
+        return tuple(b - a for a, b in zip(self.lo, self.hi))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"[{a:g}, {b:g}]" for a, b in zip(self.lo, self.hi))
+        return f"Rect({parts})"
+
+
+@dataclass(frozen=True)
+class Query:
+    """An aggregate query with a rectangular predicate.
+
+    ``predicate_attrs`` names the columns the rectangle constrains, in the
+    same order as the rectangle's dimensions.  ``attr`` is the aggregation
+    attribute; it is ignored for COUNT.
+    """
+
+    agg: AggFunc
+    attr: str
+    predicate_attrs: Tuple[str, ...]
+    rect: Rectangle
+
+    def __post_init__(self) -> None:
+        if len(self.predicate_attrs) != self.rect.dim:
+            raise ValueError("predicate_attrs must match rectangle dims")
+
+    def with_agg(self, agg: AggFunc, attr: Optional[str] = None) -> "Query":
+        """The same predicate with a different aggregation function/attr."""
+        return Query(agg, attr if attr is not None else self.attr,
+                     self.predicate_attrs, self.rect)
+
+
+@dataclass
+class QueryResult:
+    """An estimate with its confidence interval.
+
+    ``variance_catchup`` and ``variance_sample`` are the two error sources
+    of Section 4.4.1 (nu_c from approximate node statistics, nu_s from the
+    stratified leaf samples).  ``ci(z)`` combines them under the normal
+    approximation.  ``exact`` is set when the synopsis can prove the answer
+    has no approximation error (all touched nodes exact and fully covered).
+    """
+
+    estimate: float
+    variance_catchup: float = 0.0
+    variance_sample: float = 0.0
+    exact: bool = False
+    n_covered: int = 0
+    n_partial: int = 0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def variance(self) -> float:
+        return self.variance_catchup + self.variance_sample
+
+    def ci(self, z: float = 1.96) -> Tuple[float, float]:
+        """Confidence interval ``estimate +/- z * sqrt(nu_c + nu_s)``."""
+        half = z * math.sqrt(max(self.variance, 0.0))
+        return (self.estimate - half, self.estimate + half)
+
+    def ci_halfwidth(self, z: float = 1.96) -> float:
+        return z * math.sqrt(max(self.variance, 0.0))
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / |truth|`` with the 0/0 convention of Sec 6.1.2.
+
+    When the ground truth is zero the error is 0 if the estimate is also
+    zero and infinity otherwise; benchmark workloads filter near-empty
+    queries the same way the paper does for multi-dimensional templates.
+    """
+    if truth == 0:
+        return 0.0 if estimate == 0 else math.inf
+    return abs(estimate - truth) / abs(truth)
+
+
+def queries_relative_errors(estimates: Iterable[float],
+                            truths: Iterable[float]) -> list:
+    return [relative_error(e, t) for e, t in zip(estimates, truths)]

@@ -1,0 +1,190 @@
+"""Shared-pool multi-template synopses (Section 5.5, method 1, exact form).
+
+The paper's first multi-template method stores the pooled sample **once**
+in a dynamic range tree / k-d tree and builds one partition tree per
+query template; leaf samples are *not* materialized per tree - "whenever
+we need access to the samples in a leaf node u, we run a reporting query
+with the corresponding hyper-rectangle R_u in the range tree".  Total
+space is O(m + L*k) for L templates instead of L independent synopses'
+O(L*m).
+
+:class:`SharedPoolSynopses` implements exactly that: one
+:class:`DynamicReservoir` and one :class:`RangeIndex` over *all*
+predicate-capable attributes, plus a lightweight
+:class:`~repro.core.dpt.DynamicPartitionTree` per template whose leaf
+samples are fetched by rectangle-reporting against the shared index at
+query time.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..index.range_index import RangeIndex
+from ..partitioning.kdtree import KDTreePartitioner
+from ..partitioning.onedim import OneDimPartitioner
+from ..sampling.reservoir import DynamicReservoir
+from .catchup import CatchupRunner
+from .dpt import DynamicPartitionTree
+from .janus import JanusConfig
+from .node import DPTNode
+from .queries import AggFunc, Query, QueryResult, Rectangle
+from .table import Table
+
+TemplateKey = Tuple[str, Tuple[str, ...]]
+
+
+class SharedPoolSynopses:
+    """L query templates over one physical pooled sample."""
+
+    def __init__(self, table: Table,
+                 config: Optional[JanusConfig] = None) -> None:
+        self.table = table
+        self.config = config or JanusConfig()
+        self.schema = table.schema
+        self._rng = np.random.default_rng(self.config.seed)
+        target = max(self.config.min_pool,
+                     int(2 * self.config.sample_rate * max(len(table), 1)))
+        self.reservoir = DynamicReservoir(table, target,
+                                          seed=self.config.seed + 1)
+        # the single shared store: full-schema coordinates, value unused
+        self._rows: Dict[int, np.ndarray] = {}
+        self.sample_index = RangeIndex(len(self.schema),
+                                       seed=self.config.seed + 2)
+        self.reservoir.subscribe(self)
+        self.reservoir.initialize()
+        self._trees: Dict[TemplateKey, DynamicPartitionTree] = {}
+
+    # ------------------------------------------------------------------ #
+    # reservoir observer protocol (shared store maintenance)
+    # ------------------------------------------------------------------ #
+    def on_add(self, tid: int) -> None:
+        row = self.table.row(tid).copy()
+        self._rows[tid] = row
+        self.sample_index.insert(tid, row, 0.0)
+
+    def on_remove(self, tid: int) -> None:
+        self._rows.pop(tid, None)
+        if tid in self.sample_index:
+            self.sample_index.delete(tid)
+
+    def on_reset(self, tids: List[int]) -> None:
+        self._rows = {}
+        self.sample_index = RangeIndex(len(self.schema),
+                                       seed=self.config.seed + 2)
+        for tid in tids:
+            self.on_add(tid)
+
+    # ------------------------------------------------------------------ #
+    # templates
+    # ------------------------------------------------------------------ #
+    def add_template(self, agg_attr: str,
+                     predicate_attrs: Sequence[str]
+                     ) -> DynamicPartitionTree:
+        """Build (and catch up) one partition tree for a template.
+
+        New templates can arrive lazily: "when we see a query from a new
+        template we can construct a new partition tree ... then we start
+        the catch-up phase only for this tree."
+        """
+        key = (agg_attr, tuple(predicate_attrs))
+        if key in self._trees:
+            return self._trees[key]
+        spec = self._partition_template(agg_attr, tuple(predicate_attrs))
+        dpt = DynamicPartitionTree(spec, self.schema, predicate_attrs,
+                                   minmax_attrs=(agg_attr,),
+                                   minmax_k=self.config.minmax_k)
+        dpt.set_population(len(self.table))
+        for row in self._rows.values():
+            dpt.add_catchup_row(row)
+        runner = CatchupRunner(dpt, seed=int(self._rng.integers(2 ** 31)))
+        runner.run_from_table(
+            self.table, self.table.live_tids(),
+            int(self.config.catchup_rate * len(self.table)))
+        self._trees[key] = dpt
+        return dpt
+
+    def _partition_template(self, agg_attr: str,
+                            predicate_attrs: Tuple[str, ...]):
+        pred_idx = [self.schema.index(a) for a in predicate_attrs]
+        agg_idx = self.schema.index(agg_attr)
+        rows = np.stack(list(self._rows.values())) if self._rows else \
+            np.empty((0, len(self.schema)))
+        if rows.shape[0] == 0:
+            raise RuntimeError("empty shared pool")
+        n = max(len(self.table), 1)
+        if len(predicate_attrs) == 1:
+            domain = self.table.domain(predicate_attrs[0])
+            return OneDimPartitioner(
+                self.config.focus_agg, delta=self.config.delta).partition(
+                    rows[:, pred_idx[0]], rows[:, agg_idx],
+                    self.config.k, n_population=n, domain=domain).tree
+        temp = RangeIndex(len(predicate_attrs),
+                          seed=self.config.seed + 4)
+        for i in range(rows.shape[0]):
+            temp.insert(i, rows[i, pred_idx], float(rows[i, agg_idx]))
+        lo = tuple(self.table.domain(a)[0] for a in predicate_attrs)
+        hi = tuple(self.table.domain(a)[1] for a in predicate_attrs)
+        return KDTreePartitioner(
+            self.config.focus_agg, delta=self.config.delta).partition(
+                temp, self.config.k, n_population=n,
+                root_rect=Rectangle(lo, hi)).tree
+
+    def templates(self) -> Tuple[TemplateKey, ...]:
+        return tuple(self._trees)
+
+    # ------------------------------------------------------------------ #
+    # updates: one pool event, every tree's path updates
+    # ------------------------------------------------------------------ #
+    def insert(self, values: Sequence[float]) -> int:
+        tid = self.table.insert(values)
+        row = self.table.row(tid)
+        for dpt in self._trees.values():
+            dpt.insert_row(row)
+        self.reservoir.on_insert(tid)
+        return tid
+
+    def delete(self, tid: int) -> None:
+        row = self.table.delete(tid)
+        for dpt in self._trees.values():
+            dpt.delete_row(row)
+        self.reservoir.on_delete(tid)
+
+    # ------------------------------------------------------------------ #
+    # queries: leaf samples via shared-index reporting
+    # ------------------------------------------------------------------ #
+    def query(self, query: Query) -> QueryResult:
+        key = (query.attr, query.predicate_attrs)
+        dpt = self._trees.get(key)
+        if dpt is None:
+            dpt = self.add_template(query.attr, query.predicate_attrs)
+        pred_idx = [self.schema.index(a) for a in query.predicate_attrs]
+
+        def leaf_samples(leaf: DPTNode) -> np.ndarray:
+            # "run a reporting query with the corresponding
+            # hyper-rectangle R_u in the range tree"
+            lo = [-math.inf] * len(self.schema)
+            hi = [math.inf] * len(self.schema)
+            for dim, col in enumerate(pred_idx):
+                lo[col] = leaf.rect.lo[dim]
+                hi[col] = leaf.rect.hi[dim]
+            coords, _, _ = self.sample_index.report(
+                Rectangle(tuple(lo), tuple(hi)))
+            return coords          # full-schema rows by construction
+
+        return dpt.query(query, leaf_samples)
+
+    # ------------------------------------------------------------------ #
+    def storage_cost_bytes(self) -> int:
+        """O(m + L*k): one sample store plus L trees of node statistics."""
+        sample_bytes = len(self._rows) * len(self.schema) * 8
+        node_bytes = 0
+        for dpt in self._trees.values():
+            per_node = (6 * len(dpt.stat_attrs) + 4) * 8
+            node_bytes += sum(1 for _ in dpt.nodes()) * per_node
+        return sample_bytes + node_bytes

@@ -1,0 +1,126 @@
+"""Stream-driven request processing (Section 3.2, PSoup architecture).
+
+:class:`StreamDriver` connects a :class:`~repro.broker.broker.Broker`'s
+``insert`` / ``delete`` / ``execute`` topics to a :class:`JanusAQP`
+synopsis.  Clients produce serialized requests; the driver polls the
+topics, applies data requests in arrival order, answers queries against
+the state as of their arrival point, and publishes results to a
+``results`` topic.  Like Kafka, ordering is guaranteed within a topic;
+the driver drains data topics before each query batch, which gives every
+query the "all data that has arrived until time point i" semantics the
+paper specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..broker.broker import Broker, Consumer
+from ..broker.requests import (DeleteRequest, InsertRequest, QueryRequest,
+                               decode)
+from .janus import JanusAQP
+from .queries import QueryResult
+
+
+@dataclass
+class StreamStats:
+    n_inserts: int = 0
+    n_deletes: int = 0
+    n_queries: int = 0
+    n_bad_requests: int = 0
+
+
+class StreamClient:
+    """Producer-side helper: assigns client keys and serializes requests."""
+
+    def __init__(self, broker: Broker) -> None:
+        self._broker = broker
+        self._next_key = 0
+        self._next_query = 0
+
+    def insert(self, values) -> int:
+        from ..broker.requests import encode_insert
+        key = self._next_key
+        self._next_key += 1
+        self._broker.topic(Broker.INSERT).produce(
+            encode_insert(key, values))
+        return key
+
+    def delete(self, key: int) -> None:
+        from ..broker.requests import encode_delete
+        self._broker.topic(Broker.DELETE).produce(encode_delete(key))
+
+    def execute(self, query) -> int:
+        from ..broker.requests import encode_query
+        query_id = self._next_query
+        self._next_query += 1
+        self._broker.topic(Broker.EXECUTE).produce(
+            encode_query(query_id, query))
+        return query_id
+
+
+class StreamDriver:
+    """Consumer side: applies the request stream to a synopsis."""
+
+    RESULTS = "results"
+
+    def __init__(self, broker: Broker, janus: JanusAQP) -> None:
+        self.broker = broker
+        self.janus = janus
+        self._insert_consumer = Consumer(broker.topic(Broker.INSERT))
+        self._delete_consumer = Consumer(broker.topic(Broker.DELETE))
+        self._query_consumer = Consumer(broker.topic(Broker.EXECUTE))
+        self._tid_of_key: Dict[int, int] = {}
+        self.results: Dict[int, QueryResult] = {}
+        self.stats = StreamStats()
+
+    # ------------------------------------------------------------------ #
+    def drain(self, batch_size: int = 1024) -> StreamStats:
+        """Process everything currently queued, data before queries."""
+        while (self._insert_consumer.lag or self._delete_consumer.lag or
+               self._query_consumer.lag):
+            self._drain_data(batch_size)
+            self._drain_queries(batch_size)
+        return self.stats
+
+    def _drain_data(self, batch_size: int) -> None:
+        # Inserts drain fully before deletes: a delete can only reference
+        # a key whose insert was produced earlier, so this order never
+        # orphans a delete that is already queued.
+        while self._insert_consumer.lag:
+            for record in self._insert_consumer.poll(batch_size):
+                self._apply(record)
+        while self._delete_consumer.lag:
+            for record in self._delete_consumer.poll(batch_size):
+                self._apply(record)
+
+    def _drain_queries(self, batch_size: int) -> None:
+        for record in self._query_consumer.poll(batch_size):
+            self._apply(record)
+
+    # ------------------------------------------------------------------ #
+    def _apply(self, record: str) -> None:
+        try:
+            request = decode(record)
+        except (ValueError, IndexError):
+            self.stats.n_bad_requests += 1
+            return
+        if isinstance(request, InsertRequest):
+            tid = self.janus.insert(request.values)
+            self._tid_of_key[request.key] = tid
+            self.stats.n_inserts += 1
+        elif isinstance(request, DeleteRequest):
+            tid = self._tid_of_key.pop(request.key, None)
+            if tid is None or tid not in self.janus.table:
+                self.stats.n_bad_requests += 1
+                return
+            self.janus.delete(tid)
+            self.stats.n_deletes += 1
+        else:
+            result = self.janus.query(request.query)
+            self.results[request.query_id] = result
+            self.broker.topic(self.RESULTS).produce(
+                f"{request.query_id}|{result.estimate!r}"
+                f"|{result.variance!r}")
+            self.stats.n_queries += 1

@@ -1,0 +1,212 @@
+"""Dynamic table with archival storage semantics.
+
+The paper assumes (Section 2.1) an evolving database D(0), D(1), ... under
+a stream of insertions and deletions, with "sufficient cold/archival
+storage to store the current state of the table" which may be read offline
+for initialization, re-optimization and catch-up - but never at query time.
+
+:class:`Table` plays both roles: it is the archival store (full columnar
+state, uniform sampling for catch-up) and the ground-truth oracle used by
+the benchmark harness.  The synopses themselves only touch it through the
+archival interface (``sample_tids`` / ``row``), never per query.
+
+Storage is columnar numpy with a liveness mask; deleted rows become dead
+slots that are compacted on demand, so ground-truth evaluation over
+thousands of queries stays vectorized.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .queries import AggFunc, Query, Rectangle
+
+
+class Table:
+    """An insert/delete table over a fixed numeric schema.
+
+    Rows are addressed by a stable tuple id (``tid``) assigned at insert
+    time; the same tid is used by reservoirs, partition-tree samples and
+    delete requests so every structure refers to one canonical identity.
+    """
+
+    _GROWTH = 1.6
+
+    def __init__(self, schema: Sequence[str], capacity: int = 1024) -> None:
+        if len(set(schema)) != len(schema):
+            raise ValueError("duplicate attribute names in schema")
+        self.schema: Tuple[str, ...] = tuple(schema)
+        self._col_of: Dict[str, int] = {a: j for j, a in enumerate(schema)}
+        self._data = np.empty((max(capacity, 16), len(schema)), dtype=np.float64)
+        self._live = np.zeros(self._data.shape[0], dtype=bool)
+        self._tids = np.full(self._data.shape[0], -1, dtype=np.int64)
+        self._slot_of: Dict[int, int] = {}
+        self._n_slots = 0
+        self._n_live = 0
+        self._next_tid = 0
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, values: Sequence[float]) -> int:
+        """Insert a row; returns its tid."""
+        if len(values) != len(self.schema):
+            raise ValueError("row arity does not match schema")
+        if self._n_slots == self._data.shape[0]:
+            self._grow()
+        slot = self._n_slots
+        self._data[slot] = values
+        self._live[slot] = True
+        tid = self._next_tid
+        self._tids[slot] = tid
+        self._slot_of[tid] = slot
+        self._n_slots += 1
+        self._n_live += 1
+        self._next_tid += 1
+        return tid
+
+    def insert_many(self, rows: np.ndarray) -> List[int]:
+        """Bulk insert a 2-D array; returns the assigned tids."""
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != len(self.schema):
+            raise ValueError("rows must be (n, n_attrs)")
+        n = rows.shape[0]
+        while self._n_slots + n > self._data.shape[0]:
+            self._grow()
+        lo, hi = self._n_slots, self._n_slots + n
+        self._data[lo:hi] = rows
+        self._live[lo:hi] = True
+        tids = list(range(self._next_tid, self._next_tid + n))
+        self._tids[lo:hi] = tids
+        for offset, tid in enumerate(tids):
+            self._slot_of[tid] = lo + offset
+        self._n_slots = hi
+        self._n_live += n
+        self._next_tid += n
+        return tids
+
+    def delete(self, tid: int) -> np.ndarray:
+        """Delete a live row by tid; returns the removed row's values."""
+        slot = self._slot_of.pop(tid, None)
+        if slot is None:
+            raise KeyError(f"tid {tid} is not live")
+        self._live[slot] = False
+        self._n_live -= 1
+        return self._data[slot].copy()
+
+    def _grow(self) -> None:
+        new_cap = int(self._data.shape[0] * self._GROWTH) + 16
+        self._data = np.resize(self._data, (new_cap, len(self.schema)))
+        self._live = np.resize(self._live, new_cap)
+        self._live[self._n_slots:] = False
+        self._tids = np.resize(self._tids, new_cap)
+        self._tids[self._n_slots:] = -1
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._n_live
+
+    @property
+    def n_live(self) -> int:
+        return self._n_live
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._slot_of
+
+    def row(self, tid: int) -> np.ndarray:
+        slot = self._slot_of.get(tid)
+        if slot is None:
+            raise KeyError(f"tid {tid} is not live")
+        return self._data[slot]
+
+    def value(self, tid: int, attr: str) -> float:
+        return float(self.row(tid)[self._col_of[attr]])
+
+    def col_index(self, attr: str) -> int:
+        return self._col_of[attr]
+
+    def live_tids(self) -> np.ndarray:
+        return self._tids[:self._n_slots][self._live[:self._n_slots]]
+
+    def live_rows(self) -> np.ndarray:
+        """A (n_live, n_attrs) view-copy of all live rows."""
+        return self._data[:self._n_slots][self._live[:self._n_slots]]
+
+    def column(self, attr: str) -> np.ndarray:
+        j = self._col_of[attr]
+        return self._data[:self._n_slots, j][self._live[:self._n_slots]]
+
+    def domain(self, attr: str) -> Tuple[float, float]:
+        col = self.column(attr)
+        if col.size == 0:
+            return (0.0, 0.0)
+        return (float(col.min()), float(col.max()))
+
+    # ------------------------------------------------------------------ #
+    # archival interface (offline access only - Section 2.1)
+    # ------------------------------------------------------------------ #
+    def sample_tids(self, k: int, rng: np.random.Generator,
+                    replace: bool = False) -> np.ndarray:
+        """Uniform random tids from the current live rows.
+
+        Models pulling a uniform sample from archival storage for reservoir
+        (re-)initialization and the catch-up phase.
+        """
+        live = self.live_tids()
+        if live.size == 0:
+            return np.empty(0, dtype=np.int64)
+        k_eff = k if replace else min(k, live.size)
+        return rng.choice(live, size=k_eff, replace=replace)
+
+    def rows_for(self, tids: Iterable[int]) -> np.ndarray:
+        slots = [self._slot_of[t] for t in tids]
+        return self._data[slots]
+
+    # ------------------------------------------------------------------ #
+    # ground truth (benchmark harness only - not used by synopses)
+    # ------------------------------------------------------------------ #
+    def predicate_mask(self, predicate_attrs: Sequence[str],
+                       rect: Rectangle) -> np.ndarray:
+        live_slice = self._live[:self._n_slots]
+        mask = live_slice.copy()
+        for dim, attr in enumerate(predicate_attrs):
+            col = self._data[:self._n_slots, self._col_of[attr]]
+            mask &= (col >= rect.lo[dim]) & (col <= rect.hi[dim])
+        return mask
+
+    def ground_truth(self, query: Query) -> float:
+        """Evaluate the query exactly against the current live data."""
+        mask = self.predicate_mask(query.predicate_attrs, query.rect)
+        if query.agg is AggFunc.COUNT:
+            return float(mask.sum())
+        vals = self._data[:self._n_slots, self._col_of[query.attr]][mask]
+        if query.agg is AggFunc.SUM:
+            return float(vals.sum())
+        if vals.size == 0:
+            return math.nan
+        if query.agg is AggFunc.AVG:
+            return float(vals.mean())
+        if query.agg is AggFunc.MIN:
+            return float(vals.min())
+        if query.agg is AggFunc.MAX:
+            return float(vals.max())
+        if query.agg is AggFunc.VARIANCE:
+            return float(vals.var())
+        if query.agg is AggFunc.STDDEV:
+            return float(vals.std())
+        raise ValueError(f"unsupported aggregate {query.agg}")
+
+    def ground_truths(self, queries: Sequence[Query]) -> List[float]:
+        return [self.ground_truth(q) for q in queries]
+
+
+def table_from_array(schema: Sequence[str], data: np.ndarray) -> Table:
+    """Convenience constructor: a table pre-loaded with ``data`` rows."""
+    table = Table(schema, capacity=max(len(data) + 16, 1024))
+    table.insert_many(np.asarray(data, dtype=np.float64))
+    return table

@@ -1,0 +1,157 @@
+"""Multiple query templates over shared samples (paper Section 5.5).
+
+A template is ``(aggregation function, aggregation attribute, predicate
+attributes)``.  The paper offers two designs, both implemented here:
+
+* **Method 1** (:class:`SynopsisManager`) - one global pooled sample plus
+  one partition tree per template.  Space is O(m + L*k); every supported
+  template keeps its full error guarantees.  Templates can be added
+  lazily when a query from an unseen template arrives.
+* **Method 2** (:class:`HeuristicRouter`) - a single tree.  A different
+  aggregation *function* is free (SUM/COUNT statistics are maintained in
+  every node); a different aggregation *attribute* is free too when the
+  tree tracks statistics for all attributes (our default); a different
+  *predicate* attribute falls back to plain uniform sampling over the
+  pooled sample - higher latency and no tree guarantees, exactly the
+  trade-off of Figure 8 (left) - until the caller re-partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .estimators import uniform_estimate
+from .janus import JanusAQP, JanusConfig
+from .queries import AggFunc, Query, QueryResult
+from .table import Table
+
+
+TemplateKey = Tuple[str, Tuple[str, ...]]  # (agg attr, predicate attrs)
+
+
+def template_key(query: Query) -> TemplateKey:
+    return (query.attr, query.predicate_attrs)
+
+
+class SynopsisManager:
+    """Method 1: a tree per template, one pooled sample store each.
+
+    (The paper shares one physical sample store across trees; here each
+    JanusAQP instance owns a pool, and ``share_pool`` wires the additional
+    templates to the first template's reservoir to reproduce the shared-
+    storage accounting.)
+    """
+
+    def __init__(self, table: Table, config: Optional[JanusConfig] = None
+                 ) -> None:
+        self.table = table
+        self.config = config or JanusConfig()
+        self._synopses: Dict[TemplateKey, JanusAQP] = {}
+
+    def add_template(self, agg_attr: str,
+                     predicate_attrs: Sequence[str]) -> JanusAQP:
+        key = (agg_attr, tuple(predicate_attrs))
+        if key in self._synopses:
+            return self._synopses[key]
+        synopsis = JanusAQP(self.table, agg_attr, predicate_attrs,
+                            config=self.config)
+        synopsis.initialize()
+        self._synopses[key] = synopsis
+        return synopsis
+
+    def templates(self) -> Tuple[TemplateKey, ...]:
+        return tuple(self._synopses)
+
+    def insert(self, values: Sequence[float]) -> int:
+        """Insert into the table once, updating every template's tree."""
+        synopses = list(self._synopses.values())
+        if not synopses:
+            return self.table.insert(values)
+        first, rest = synopses[0], synopses[1:]
+        tid = first.insert(values)
+        row = self.table.row(tid)
+        for s in rest:
+            leaf = s.dpt.insert_row(row) if s.dpt else None
+            s.reservoir.on_insert(tid)
+            if leaf is not None:
+                s._after_update(leaf)
+        return tid
+
+    def delete(self, tid: int) -> None:
+        synopses = list(self._synopses.values())
+        if not synopses:
+            self.table.delete(tid)
+            return
+        row = self.table.row(tid).copy()
+        synopses[0].delete(tid)
+        for s in synopses[1:]:
+            if s.dpt is not None:
+                s.dpt.delete_row(row)
+            s.reservoir.on_delete(tid)
+
+    def query(self, query: Query) -> QueryResult:
+        """Route to the matching template, building it on first use."""
+        key = template_key(query)
+        synopsis = self._synopses.get(key)
+        if synopsis is None:
+            synopsis = self.add_template(query.attr, query.predicate_attrs)
+        return synopsis.query(query)
+
+
+class HeuristicRouter:
+    """Method 2: one tree answers every template it can, with fallbacks."""
+
+    def __init__(self, synopsis: JanusAQP) -> None:
+        self.synopsis = synopsis
+
+    def query(self, query: Query) -> QueryResult:
+        """Answer with the tree when possible, else uniform sampling.
+
+        The tree handles any aggregation function and any aggregation
+        attribute it tracks statistics for.  A mismatched predicate-
+        attribute set falls back to a plain uniform estimate over the
+        pooled sample (the paper's option (ii)); callers wanting tree
+        accuracy for the new template should trigger a re-partition.
+        """
+        tree_ok = (query.predicate_attrs == self.synopsis.predicate_attrs
+                   and (query.agg is AggFunc.COUNT or
+                        query.attr in (self.synopsis.dpt.stat_attrs
+                                       if self.synopsis.dpt else ())))
+        if tree_ok:
+            return self.synopsis.query(query)
+        return self._uniform_fallback(query)
+
+    def _uniform_fallback(self, query: Query) -> QueryResult:
+        owner = self.synopsis
+        rows_map = owner._sample_rows
+        if not rows_map:
+            raise RuntimeError("empty sample pool")
+        rows = np.stack(list(rows_map.values()))
+        mask = np.ones(rows.shape[0], dtype=bool)
+        schema = owner.table.schema
+        for dim, attr in enumerate(query.predicate_attrs):
+            col = rows[:, schema.index(attr)]
+            mask &= (col >= query.rect.lo[dim]) & \
+                    (col <= query.rect.hi[dim])
+        if query.agg is AggFunc.COUNT:
+            matched = np.ones(int(mask.sum()))
+        else:
+            matched = rows[mask, schema.index(query.attr)]
+        n_total = owner.dpt.n_current if owner.dpt else len(owner.table)
+        contrib = uniform_estimate(query.agg.value, float(n_total),
+                                   rows.shape[0], matched)
+        return QueryResult(contrib.estimate, 0.0, contrib.variance,
+                           exact=False, n_partial=1,
+                           details={"fallback": "uniform"})
+
+    def repartition_for(self, predicate_attrs: Sequence[str]) -> JanusAQP:
+        """Option (iii): rebuild the tree for a new predicate template."""
+        new = JanusAQP(self.synopsis.table, self.synopsis.agg_attr,
+                       predicate_attrs, config=self.synopsis.config,
+                       stat_attrs=self.synopsis.stat_attrs)
+        new.initialize()
+        self.synopsis = new
+        return new

@@ -1,0 +1,127 @@
+"""Re-partitioning triggers (paper Section 5.4 and Appendix E).
+
+JanusAQP monitors its own synopsis health and re-partitions when the
+current tree is no longer good:
+
+1. **Under-represented leaf** - a leaf whose stratum holds far fewer
+   samples than the ``log m`` floor cannot support robust estimators.
+2. **Variance drift** - each leaf remembers the (approximate) max
+   variance ``M_i`` at construction time; when an update moves the
+   current ``M_i'`` outside ``[M_i / beta, beta * M_i]`` the partitioning
+   *may* be stale.
+
+Either condition only makes the leaf a *candidate*: the system then
+computes a fresh partitioning R' over the current samples and commits it
+only when ``M(R') < M(R) / beta`` - otherwise the current tree is still
+within a beta-factor of the best achievable and is kept.  Users may also
+force periodic re-partitioning (``every_n_updates``), which is what the
+Figure 10 experiment uses.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..partitioning.maxvar import MaxVarOracle
+from ..sampling.stratified import StrataView, min_samples_per_stratum
+from .dpt import DynamicPartitionTree
+from .node import DPTNode
+
+
+class TriggerAction(enum.Enum):
+    NONE = "none"
+    CANDIDATE = "candidate"       # compute R' and compare against R
+    FORCED = "forced"             # periodic/user-forced re-partition
+
+
+@dataclass
+class TriggerConfig:
+    beta: float = 10.0
+    check_every: int = 256        # updates between drift checks
+    every_n_updates: Optional[int] = None   # periodic forcing, if set
+    min_samples_floor: Optional[float] = None  # default: log(pool size)
+
+
+@dataclass
+class TriggerState:
+    baseline: Dict[int, float] = field(default_factory=dict)  # leaf -> M_i
+    updates_since_check: int = 0
+    updates_since_repartition: int = 0
+    n_candidates: int = 0
+    n_forced: int = 0
+
+
+class RepartitionTrigger:
+    """Drift detector over one DPT's leaves."""
+
+    def __init__(self, config: TriggerConfig, oracle: MaxVarOracle,
+                 strata: StrataView) -> None:
+        self.config = config
+        self.oracle = oracle
+        self.strata = strata
+        self.state = TriggerState()
+
+    # ------------------------------------------------------------------ #
+    def rebase(self, dpt: DynamicPartitionTree) -> None:
+        """Record per-leaf baseline variances for a (new) tree."""
+        self.state.baseline = {
+            leaf.node_id: self.oracle.max_variance(leaf.rect).variance
+            for leaf in dpt.leaves}
+        self.state.updates_since_check = 0
+        self.state.updates_since_repartition = 0
+
+    def current_max_variance(self, dpt: DynamicPartitionTree) -> float:
+        """M(R): worst leaf variance under the current samples."""
+        return max((self.oracle.max_variance(leaf.rect).variance
+                    for leaf in dpt.leaves), default=0.0)
+
+    # ------------------------------------------------------------------ #
+    def on_update(self, dpt: DynamicPartitionTree,
+                  leaf: DPTNode) -> TriggerAction:
+        """Called after every insert/delete routed to ``leaf``."""
+        self.state.updates_since_check += 1
+        self.state.updates_since_repartition += 1
+        cfg = self.config
+        if (cfg.every_n_updates is not None and
+                self.state.updates_since_repartition >= cfg.every_n_updates):
+            self.state.n_forced += 1
+            return TriggerAction.FORCED
+        if self.state.updates_since_check < cfg.check_every:
+            return TriggerAction.NONE
+        self.state.updates_since_check = 0
+        if self._under_represented(leaf) or self._variance_drifted(leaf):
+            self.state.n_candidates += 1
+            return TriggerAction.CANDIDATE
+        return TriggerAction.NONE
+
+    def _under_represented(self, leaf: DPTNode) -> bool:
+        floor = self.config.min_samples_floor
+        if floor is None:
+            floor = min_samples_per_stratum(
+                sample_rate=1.0, pool_size=max(len(self.oracle.index), 2))
+        return self.strata.stratum_size(leaf.node_id) < floor
+
+    def _variance_drifted(self, leaf: DPTNode) -> bool:
+        baseline = self.state.baseline.get(leaf.node_id)
+        if baseline is None:
+            return False
+        current = self.oracle.max_variance(leaf.rect).variance
+        beta = self.config.beta
+        if baseline <= 0:
+            return current > 0
+        drifted = not (baseline / beta <= current <= beta * baseline)
+        if not drifted:
+            # refresh to avoid re-checking an accepted drift forever
+            self.state.baseline[leaf.node_id] = max(baseline, current)
+        return drifted
+
+    # ------------------------------------------------------------------ #
+    def confirm(self, new_max_variance: float,
+                old_max_variance: float) -> bool:
+        """Commit rule: ``M(R') < M(R) / beta``."""
+        if old_max_variance <= 0:
+            return False
+        return new_max_variance < old_max_variance / self.config.beta

@@ -1,0 +1,7 @@
+"""Synthetic datasets and query workloads for the experiments."""
+
+from .synthetic import Dataset, intel_wireless, load, nasdaq_etf, nyc_taxi
+from .workload import generate_workload, random_rectangle
+
+__all__ = ["Dataset", "intel_wireless", "load", "nasdaq_etf", "nyc_taxi",
+           "generate_workload", "random_rectangle"]

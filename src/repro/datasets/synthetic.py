@@ -1,0 +1,160 @@
+"""Shape-matched synthetic stand-ins for the paper's three datasets.
+
+The paper evaluates on Intel Wireless (sensor readings, 3M rows), NYC Taxi
+January 2019 (7.7M rows) and NASDAQ ETF prices (4M rows).  Those files are
+not available offline, so each generator below produces a table with the
+same schema roles, marginal shapes and correlations that the experiments
+exercise (see DESIGN.md, substitution 1):
+
+* :func:`intel_wireless` - a time-ordered sensor log whose ``light``
+  column follows a diurnal cycle with sensor noise and occasional spikes;
+  ``time`` is the 1-D predicate attribute of Table 2/Figure 7.
+* :func:`nyc_taxi` - trips with rush-hour-peaked ``pickup_time``,
+  log-normal ``trip_distance``, a correlated ``dropoff_time``, and a
+  uniform ``pickup_time_of_day`` used by Figure 10's second scenario.
+* :func:`nasdaq_etf` - entries with heavy-tailed ``volume`` and four
+  random-walk price columns, the 5-D template of Figure 9.
+
+Default sizes are scaled down (pure-Python harness) but every generator
+takes ``n``; distributional shape does not depend on ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A generated table plus the query template the paper uses on it."""
+
+    name: str
+    schema: Tuple[str, ...]
+    data: np.ndarray                      # (n, len(schema))
+    agg_attr: str
+    predicate_attrs: Tuple[str, ...]
+
+    @property
+    def n(self) -> int:
+        return self.data.shape[0]
+
+    def column(self, attr: str) -> np.ndarray:
+        return self.data[:, self.schema.index(attr)]
+
+
+def intel_wireless(n: int = 60_000, seed: int = 0) -> Dataset:
+    """Sensor log: time, light, temperature, humidity, voltage."""
+    rng = np.random.default_rng(seed)
+    time = np.sort(rng.uniform(0.0, 30.0, n))            # days
+    phase = 2.0 * np.pi * (time % 1.0)
+    # Diurnal light: dark at night, bright mid-day, sensor noise + spikes.
+    light = np.clip(
+        600.0 * np.maximum(0.0, np.sin(phase - np.pi / 2.0)) ** 2
+        + rng.normal(0.0, 25.0, n)
+        + (rng.random(n) < 0.01) * rng.uniform(400, 900, n),
+        0.0, None)
+    temperature = (20.0 + 6.0 * np.sin(phase - np.pi / 2.0)
+                   + rng.normal(0.0, 1.0, n))
+    humidity = np.clip(45.0 - 0.8 * (temperature - 20.0)
+                       + rng.normal(0.0, 4.0, n), 5.0, 95.0)
+    voltage = np.clip(2.7 - 0.01 * time + rng.normal(0.0, 0.02, n), 2.0, 3.0)
+    data = np.column_stack([time, light, temperature, humidity, voltage])
+    return Dataset("intel_wireless",
+                   ("time", "light", "temperature", "humidity", "voltage"),
+                   data, agg_attr="light", predicate_attrs=("time",))
+
+
+def nyc_taxi(n: int = 80_000, seed: int = 0) -> Dataset:
+    """Taxi trips: pickup_time, dropoff_time, time-of-day, distance, fare."""
+    rng = np.random.default_rng(seed)
+    day = rng.integers(0, 31, n).astype(np.float64)
+    # Time-of-day mixture: morning and evening rush peaks over a base.
+    comp = rng.random(n)
+    tod = np.where(
+        comp < 0.30, rng.normal(8.5, 1.2, n),
+        np.where(comp < 0.65, rng.normal(18.0, 1.7, n),
+                 rng.uniform(0.0, 24.0, n)))
+    tod = np.mod(tod, 24.0)
+    pickup_time = day * 24.0 + tod                        # hours since Jan 1
+    # Trip length depends on time of day the way real taxi data does:
+    # long early-morning airport runs, short rush-hour hops.  This within-
+    # cluster predicate/aggregate correlation is what separates unbiased
+    # sampling synopses from fixed-resolution learned models (Table 2).
+    tod_factor = (1.0
+                  + 1.8 * np.exp(-((tod - 4.5) / 1.4) ** 2)
+                  - 0.45 * np.exp(-((tod - 8.5) / 1.2) ** 2)
+                  - 0.35 * np.exp(-((tod - 18.0) / 1.6) ** 2))
+    trip_distance = np.clip(rng.lognormal(0.7, 0.9, n) * tod_factor,
+                            0.1, 60.0)
+    duration = trip_distance * rng.uniform(0.05, 0.2, n) + \
+        rng.exponential(0.08, n)
+    dropoff_time = pickup_time + duration
+    passengers = rng.integers(1, 7, n).astype(np.float64)
+    fare = 2.5 + 2.2 * trip_distance + rng.normal(0.0, 1.5, n)
+    data = np.column_stack([pickup_time, dropoff_time, tod,
+                            trip_distance, passengers, fare])
+    return Dataset("nyc_taxi",
+                   ("pickup_time", "dropoff_time", "pickup_time_of_day",
+                    "trip_distance", "passenger_count", "fare"),
+                   data, agg_attr="trip_distance",
+                   predicate_attrs=("pickup_time",))
+
+
+def nasdaq_etf(n: int = 80_000, seed: int = 0) -> Dataset:
+    """ETF entries: date, volume and four random-walk prices."""
+    rng = np.random.default_rng(seed)
+    n_funds = 200
+    per_fund = max(n // n_funds, 1)
+    dates, volumes, opens, closes, highs, lows = [], [], [], [], [], []
+    remaining = n
+    for fund in range(n_funds):
+        rows = per_fund if fund < n_funds - 1 else remaining
+        if rows <= 0:
+            break
+        remaining -= rows
+        t = np.sort(rng.uniform(0.0, 8000.0, rows))       # days since 1986
+        base = rng.uniform(10.0, 300.0)
+        returns = rng.normal(0.0, 0.02, rows)
+        walk = base * np.exp(np.cumsum(returns))
+        spread = np.abs(rng.normal(0.0, 0.01, rows)) * walk
+        open_p = walk * (1.0 + rng.normal(0.0, 0.005, rows))
+        close_p = walk
+        high_p = np.maximum(open_p, close_p) + spread
+        low_p = np.clip(np.minimum(open_p, close_p) - spread, 0.01, None)
+        # Volume spikes on volatile days (the classic volume-volatility
+        # coupling) so volume-predicated price aggregates carry real
+        # cross-column structure.
+        vol = rng.lognormal(10.0 + rng.normal(0, 0.8), 1.0, rows) * \
+            (1.0 + 40.0 * np.abs(returns))
+        dates.append(t)
+        volumes.append(vol)
+        opens.append(open_p)
+        closes.append(close_p)
+        highs.append(high_p)
+        lows.append(low_p)
+    data = np.column_stack([np.concatenate(dates), np.concatenate(volumes),
+                            np.concatenate(opens), np.concatenate(closes),
+                            np.concatenate(highs), np.concatenate(lows)])
+    return Dataset("nasdaq_etf",
+                   ("date", "volume", "open", "close", "high", "low"),
+                   data, agg_attr="close", predicate_attrs=("volume",))
+
+
+_GENERATORS = {
+    "intel_wireless": intel_wireless,
+    "nyc_taxi": nyc_taxi,
+    "nasdaq_etf": nasdaq_etf,
+}
+
+
+def load(name: str, n: int, seed: int = 0) -> Dataset:
+    """Load a named dataset at a given scale."""
+    try:
+        gen = _GENERATORS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; "
+                       f"available: {sorted(_GENERATORS)}") from None
+    return gen(n=n, seed=seed)

@@ -1,0 +1,9 @@
+"""Geometric index substrates: treap, k-d range index, top-k heaps."""
+
+from .treap import Treap
+from .layered_range_tree import LayeredRangeTree
+from .range_index import RangeIndex
+from .topk import MinMaxStats, TopK
+
+__all__ = ["Treap", "RangeIndex", "LayeredRangeTree", "MinMaxStats",
+           "TopK"]

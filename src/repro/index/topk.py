@@ -1,0 +1,111 @@
+"""Top-k / bottom-k structures for MIN/MAX maintenance under deletions.
+
+Section 4.1 of the paper: node MIN and MAX statistics are kept as the
+bottom-k and top-k aggregation values.  Inserts push onto the heap and trim
+to k; deletes remove the value if present.  Repeated deletes may drain the
+heap - the paper's rule is to stop removing at one element, after which the
+node's MIN/MAX becomes an *outer approximation* (the reported MAX is an
+upper bound on the true MAX, the reported MIN a lower bound on the true
+MIN).  :attr:`TopK.exact` exposes that state.
+
+Because k is small (default 32) a sorted list with bisect beats an actual
+heap with lazy deletion in both simplicity and constant factors.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional
+
+
+class TopK:
+    """Maintains up to ``k`` largest (or smallest) values under updates."""
+
+    def __init__(self, k: int = 32, largest: bool = True) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.largest = largest
+        # ascending sorted list of the kept values
+        self._values: List[float] = []
+        # False once a delete had to be refused to keep one element:
+        # top() is then only an outer approximation.
+        self.exact = True
+        self._saturated = False  # ever trimmed: refills are impossible
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def insert(self, value: float) -> None:
+        value = float(value)
+        bisect.insort(self._values, value)
+        if len(self._values) > self.k:
+            self._saturated = True
+            if self.largest:
+                self._values.pop(0)     # drop smallest of the top-k
+            else:
+                self._values.pop()      # drop largest of the bottom-k
+
+    def delete(self, value: float) -> None:
+        """Remove one occurrence of ``value`` if it is tracked.
+
+        Values outside the kept window (smaller than the top-k minimum for
+        a MAX heap) were never stored and are ignored - they cannot affect
+        the extremum.  A delete that would empty the structure is refused
+        and flips :attr:`exact` to False (outer-approximation mode).
+        """
+        value = float(value)
+        i = bisect.bisect_left(self._values, value)
+        if i >= len(self._values) or self._values[i] != value:
+            return  # not tracked: below/above the kept window
+        if len(self._values) == 1:
+            self.exact = False
+            return
+        self._values.pop(i)
+        if self._saturated:
+            # After trimming we no longer know the k-th order statistic,
+            # so a shrunken window means top() is exact but the window is
+            # not refillable.  Exactness of the extremum itself is kept:
+            # any value bigger than top() would still be stored.
+            pass
+
+    def top(self) -> Optional[float]:
+        """Current MAX (or MIN) estimate; None when never populated."""
+        if not self._values:
+            return None
+        return self._values[-1] if self.largest else self._values[0]
+
+    def values(self) -> List[float]:
+        return list(self._values)
+
+
+class MinMaxStats:
+    """Paired bottom-k / top-k tracking a node's MIN and MAX (Section 4.1)."""
+
+    def __init__(self, k: int = 32) -> None:
+        self._max = TopK(k, largest=True)
+        self._min = TopK(k, largest=False)
+
+    def insert(self, value: float) -> None:
+        self._max.insert(value)
+        self._min.insert(value)
+
+    def delete(self, value: float) -> None:
+        self._max.delete(value)
+        self._min.delete(value)
+
+    @property
+    def max_value(self) -> Optional[float]:
+        return self._max.top()
+
+    @property
+    def min_value(self) -> Optional[float]:
+        return self._min.top()
+
+    @property
+    def max_exact(self) -> bool:
+        return self._max.exact
+
+    @property
+    def min_exact(self) -> bool:
+        return self._min.exact

@@ -1,0 +1,205 @@
+"""Order-statistic treap with range aggregates.
+
+The 1-D sample structure behind the binary-search partitioner (paper
+Sections 4.2 and D.2): "using a simple dynamic search binary tree of space
+O(m) we can update the samples S stored in T in O(height) time".  Every
+subtree maintains ``(count, sum_a, sum_a2)`` over the aggregation values of
+the samples it holds, so the partitioner can evaluate the variance of any
+candidate bucket ``[t_i, t_j]`` in O(log m), and order statistics give the
+sample at a given rank for the bucket-boundary binary search.
+
+Keys are ``(coordinate, tid)`` pairs, which makes duplicates well-defined
+and deletion exact.  Expected O(log m) insert/delete/query via randomized
+priorities.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class _Node:
+    __slots__ = ("key", "tid", "value", "prio", "left", "right",
+                 "count", "sum_a", "sum_a2")
+
+    def __init__(self, key: float, tid: int, value: float, prio: float):
+        self.key = key
+        self.tid = tid
+        self.value = value
+        self.prio = prio
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.count = 1
+        self.sum_a = value
+        self.sum_a2 = value * value
+
+    def pull(self) -> None:
+        c, s, s2 = 1, self.value, self.value * self.value
+        if self.left is not None:
+            c += self.left.count
+            s += self.left.sum_a
+            s2 += self.left.sum_a2
+        if self.right is not None:
+            c += self.right.count
+            s += self.right.sum_a
+            s2 += self.right.sum_a2
+        self.count, self.sum_a, self.sum_a2 = c, s, s2
+
+
+class Treap:
+    """Balanced BST over ``(key, tid)`` with subtree aggregate statistics."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._root: Optional[_Node] = None
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._root.count if self._root else 0
+
+    def insert(self, key: float, tid: int, value: float) -> None:
+        node = _Node(float(key), tid, float(value), self._rng.random())
+        self._root = self._insert(self._root, node)
+
+    def _insert(self, root: Optional[_Node], node: _Node) -> _Node:
+        if root is None:
+            return node
+        if (node.key, node.tid) < (root.key, root.tid):
+            root.left = self._insert(root.left, node)
+            if root.left.prio > root.prio:
+                root = self._rotate_right(root)
+        else:
+            root.right = self._insert(root.right, node)
+            if root.right.prio > root.prio:
+                root = self._rotate_left(root)
+        root.pull()
+        return root
+
+    def delete(self, key: float, tid: int) -> bool:
+        """Remove the sample ``(key, tid)``; returns False if absent."""
+        self._root, removed = self._delete(self._root, float(key), tid)
+        return removed
+
+    def _delete(self, root: Optional[_Node], key: float,
+                tid: int) -> Tuple[Optional[_Node], bool]:
+        if root is None:
+            return None, False
+        if (key, tid) < (root.key, root.tid):
+            root.left, removed = self._delete(root.left, key, tid)
+        elif (key, tid) > (root.key, root.tid):
+            root.right, removed = self._delete(root.right, key, tid)
+        else:
+            return self._merge(root.left, root.right), True
+        root.pull()
+        return root, removed
+
+    @staticmethod
+    def _rotate_right(node: _Node) -> _Node:
+        left = node.left
+        node.left = left.right
+        left.right = node
+        node.pull()
+        left.pull()
+        return left
+
+    @staticmethod
+    def _rotate_left(node: _Node) -> _Node:
+        right = node.right
+        node.right = right.left
+        right.left = node
+        node.pull()
+        right.pull()
+        return right
+
+    def _merge(self, a: Optional[_Node], b: Optional[_Node]) -> Optional[_Node]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a.prio > b.prio:
+            a.right = self._merge(a.right, b)
+            a.pull()
+            return a
+        b.left = self._merge(a, b.left)
+        b.pull()
+        return b
+
+    # ------------------------------------------------------------------ #
+    # order statistics
+    # ------------------------------------------------------------------ #
+    def kth(self, k: int) -> Tuple[float, int, float]:
+        """The k-th smallest sample (0-based): ``(key, tid, value)``."""
+        if not 0 <= k < len(self):
+            raise IndexError(f"rank {k} out of range")
+        node = self._root
+        while True:
+            left_count = node.left.count if node.left else 0
+            if k < left_count:
+                node = node.left
+            elif k == left_count:
+                return node.key, node.tid, node.value
+            else:
+                k -= left_count + 1
+                node = node.right
+
+    def rank_of_key(self, key: float) -> int:
+        """Number of samples with coordinate strictly less than ``key``."""
+        count = 0
+        node = self._root
+        while node is not None:
+            if node.key < key:
+                count += 1 + (node.left.count if node.left else 0)
+                node = node.right
+            else:
+                node = node.left
+        return count
+
+    # ------------------------------------------------------------------ #
+    # range aggregates
+    # ------------------------------------------------------------------ #
+    def range_stats(self, lo: float, hi: float) -> Tuple[int, float, float]:
+        """``(count, sum_a, sum_a2)`` over samples with ``lo <= key <= hi``."""
+        return self._range_stats(self._root, lo, hi)
+
+    def _range_stats(self, node: Optional[_Node], lo: float,
+                     hi: float) -> Tuple[int, float, float]:
+        if node is None:
+            return 0, 0.0, 0.0
+        if node.key < lo:
+            return self._range_stats(node.right, lo, hi)
+        if node.key > hi:
+            return self._range_stats(node.left, lo, hi)
+        cl, sl, s2l = self._range_stats(node.left, lo, hi)
+        cr, sr, s2r = self._range_stats(node.right, lo, hi)
+        return (cl + cr + 1, sl + sr + node.value,
+                s2l + s2r + node.value * node.value)
+
+    def range_count(self, lo: float, hi: float) -> int:
+        return self.range_stats(lo, hi)[0]
+
+    # ------------------------------------------------------------------ #
+    # iteration
+    # ------------------------------------------------------------------ #
+    def items(self) -> Iterator[Tuple[float, int, float]]:
+        """In-order ``(key, tid, value)`` triples."""
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.tid, node.value
+            node = node.right
+
+    def keys(self) -> List[float]:
+        return [k for k, _, _ in self.items()]
+
+    def height(self) -> int:
+        def depth(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            return 1 + max(depth(node.left), depth(node.right))
+        return depth(self._root)

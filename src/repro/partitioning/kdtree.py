@@ -1,0 +1,106 @@
+"""Greedy k-d-tree partitioner for any dimension (Sections 5.3.2 / D.3).
+
+Builds a partition tree top-down: a max-heap keyed by the (approximate)
+max variance M(R) of each current leaf repeatedly extracts the worst leaf
+and splits it at the median of the next dimension in a pre-defined
+ordering, until there are k leaves.  The oracle is the index-backed
+:class:`~repro.partitioning.maxvar.MaxVarOracle` over the pooled sample.
+
+The paper shows this yields a near-optimal partitioning with respect to
+the optimal tree using the same splitting criterion - factor 2*sqrt(k)
+for SUM/COUNT and 2*log^{(d+1)/2} m for AVG.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.queries import AggFunc, Rectangle
+from ..index.range_index import RangeIndex
+from .maxvar import MaxVarOracle
+from .spec import PartitionNode
+
+
+@dataclass
+class KDTreeResult:
+    tree: PartitionNode
+    max_error: float
+
+
+class KDTreePartitioner:
+    """Median-split greedy partitioner driven by the max-variance oracle."""
+
+    def __init__(self, agg: AggFunc = AggFunc.SUM, delta: float = 0.05,
+                 min_leaf_samples: int = 4) -> None:
+        self.agg = agg
+        self.delta = delta
+        self.min_leaf_samples = min_leaf_samples
+
+    def partition(self, index: RangeIndex, k: int,
+                  n_population: Optional[int] = None,
+                  root_rect: Optional[Rectangle] = None) -> KDTreeResult:
+        """Build a k-leaf partition tree over the samples in ``index``."""
+        m = len(index)
+        if m == 0:
+            raise ValueError("cannot partition an empty sample index")
+        n_population = n_population if n_population is not None else m
+        oracle = MaxVarOracle(index, self.agg, n_population / m,
+                              delta=self.delta)
+        root_rect = root_rect or Rectangle.unbounded(index.dim)
+        root = PartitionNode(root_rect)
+        counter = itertools.count()          # heap tie-breaker
+        heap: List[Tuple[float, int, PartitionNode, int]] = []
+        var0 = oracle.max_variance(root_rect).variance
+        heapq.heappush(heap, (-var0, next(counter), root, 0))
+        n_leaves = 1
+        while n_leaves < k and heap:
+            neg_var, _, node, depth = heapq.heappop(heap)
+            split = self._split_node(index, node, depth)
+            if split is None:
+                continue                     # unsplittable leaf: skip it
+            left, right = split
+            node.children = [left, right]
+            n_leaves += 1
+            for child in (left, right):
+                if index.count(child.rect) >= 2 * self.min_leaf_samples:
+                    var = oracle.max_variance(child.rect).variance
+                    heapq.heappush(heap, (-var, next(counter), child,
+                                          depth + 1))
+        max_err = 0.0
+        for leaf in root.leaves():
+            max_err = max(max_err,
+                          oracle.max_variance(leaf.rect).error)
+        return KDTreeResult(root, max_err)
+
+    # ------------------------------------------------------------------ #
+    def _split_node(self, index: RangeIndex, node: PartitionNode,
+                    depth: int) -> Optional[Tuple[PartitionNode,
+                                                  PartitionNode]]:
+        """Median split on the round-robin dimension (with fallbacks)."""
+        coords, _, _ = index.report(node.rect)
+        m_b = coords.shape[0]
+        if m_b < 2 * self.min_leaf_samples:
+            return None
+        dims = list(range(index.dim))
+        start = depth % index.dim
+        ordered = dims[start:] + dims[:start]
+        for dim in ordered:
+            col = coords[:, dim]
+            lo, hi = float(col.min()), float(col.max())
+            if hi <= lo:
+                continue
+            median = float(np.median(col))
+            if median >= hi:                 # duplicate-heavy column
+                median = (lo + hi) / 2.0
+            left_rect, right_rect = node.rect.split(dim, median)
+            n_left = int((col <= median).sum())
+            if n_left == 0 or n_left == m_b:
+                continue
+            return (PartitionNode(left_rect), PartitionNode(right_rect))
+        return None

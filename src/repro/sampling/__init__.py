@@ -1,0 +1,6 @@
+"""Sampling substrates: dynamic reservoir and pooled stratified views."""
+
+from .reservoir import DynamicReservoir
+from .stratified import StrataView, proportional_allocation_ok
+
+__all__ = ["DynamicReservoir", "StrataView", "proportional_allocation_ok"]

@@ -1,0 +1,142 @@
+"""Dynamic reservoir sampling under insertions and arbitrary deletions.
+
+Section 4.2 of the paper, after Gibbons-Matias-Poosala [16] and Vitter's
+classic reservoir algorithm [43]:
+
+* the pooled sample has a *target* size ``2m`` and the invariant
+  ``m <= |S| <= 2m`` (while the base data is large enough);
+* **insert t**: if ``|S| < 2m`` add t, else accept t with probability
+  ``|S| / |D|`` and, if accepted, replace a uniformly random member;
+* **delete t**: if ``t`` is not sampled, do nothing; if it is, remove it -
+  and when the reservoir has shrunk to ``m`` elements, discard it and
+  re-draw ``2m`` fresh uniform samples from archival storage.
+
+This procedure keeps ``S`` a uniform random sample of the live data at all
+times.  Observers (the DPT's stratified leaf view, the partitioner's range
+index) subscribe to add/remove/reset events so every structure built over
+the pooled sample stays synchronized - the paper's "virtual partitions of
+a single global sample".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Protocol
+
+import numpy as np
+
+from ..core.table import Table
+
+
+class ReservoirObserver(Protocol):
+    """Receives reservoir membership changes."""
+
+    def on_add(self, tid: int) -> None: ...
+
+    def on_remove(self, tid: int) -> None: ...
+
+    def on_reset(self, tids: List[int]) -> None: ...
+
+
+class DynamicReservoir:
+    """A uniform sample of a :class:`Table` maintained under updates."""
+
+    def __init__(self, table: Table, target_size: int,
+                 seed: int = 0) -> None:
+        if target_size < 2:
+            raise ValueError("target_size must be >= 2")
+        self.table = table
+        self.target_size = target_size          # the paper's 2m
+        self.min_size = max(1, target_size // 2)  # the paper's m
+        self._rng = np.random.default_rng(seed)
+        self._members: List[int] = []
+        self._pos: Dict[int, int] = {}
+        self._observers: List[ReservoirObserver] = []
+        self.n_resamples = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._pos
+
+    def tids(self) -> List[int]:
+        return list(self._members)
+
+    def subscribe(self, observer: ReservoirObserver) -> None:
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: ReservoirObserver) -> None:
+        self._observers.remove(observer)
+
+    # ------------------------------------------------------------------ #
+    def set_target(self, target_size: int, resample: bool = True) -> None:
+        """Re-size the pool (the paper's 2m tracks 2 * rate * |D|).
+
+        Growing the target without resampling would bias the pool toward
+        future arrivals, so by default the pool is re-drawn from archival
+        storage - exactly step 4 of the re-initialization pipeline.
+        """
+        if target_size < 2:
+            raise ValueError("target_size must be >= 2")
+        self.target_size = target_size
+        self.min_size = max(1, target_size // 2)
+        if resample:
+            self.initialize()
+
+    def initialize(self) -> None:
+        """Draw ``2m`` fresh uniform samples from archival storage."""
+        tids = self.table.sample_tids(self.target_size, self._rng)
+        self._members = [int(t) for t in tids]
+        self._pos = {t: i for i, t in enumerate(self._members)}
+        for obs in self._observers:
+            obs.on_reset(list(self._members))
+
+    def on_insert(self, tid: int) -> None:
+        """Notify the reservoir that ``tid`` was inserted into the table."""
+        size = len(self._members)
+        if size < self.target_size:
+            self._add(tid)
+            return
+        n_live = len(self.table)
+        if n_live <= 0:
+            return
+        if self._rng.random() < size / n_live:
+            victim_idx = int(self._rng.integers(size))
+            victim = self._members[victim_idx]
+            self._remove_at(victim_idx)
+            for obs in self._observers:
+                obs.on_remove(victim)
+            self._add(tid)
+
+    def on_delete(self, tid: int) -> None:
+        """Notify the reservoir that ``tid`` was deleted from the table.
+
+        Call *after* the table delete so a triggered resample cannot
+        re-draw the deleted row.
+        """
+        idx = self._pos.get(tid)
+        if idx is None:
+            return
+        self._remove_at(idx)
+        for obs in self._observers:
+            obs.on_remove(tid)
+        if len(self._members) < self.min_size and \
+                len(self.table) >= self.min_size:
+            self.n_resamples += 1
+            self.initialize()
+
+    # ------------------------------------------------------------------ #
+    def _add(self, tid: int) -> None:
+        self._pos[tid] = len(self._members)
+        self._members.append(tid)
+        for obs in self._observers:
+            obs.on_add(tid)
+
+    def _remove_at(self, idx: int) -> None:
+        tid = self._members[idx]
+        last = self._members[-1]
+        self._members[idx] = last
+        self._pos[last] = idx
+        self._members.pop()
+        del self._pos[tid]

@@ -1,0 +1,143 @@
+"""Tests for the Kafka-like broker and the Appendix-A samplers."""
+
+import numpy as np
+import pytest
+
+from repro.broker.broker import (Broker, Consumer, Topic, decode_row,
+                                 decode_rows, encode_row, encode_rows)
+from repro.broker.samplers import (SequentialSampler, SingletonSampler,
+                                   choose_sampler)
+
+
+class TestTopic:
+    def test_produce_poll(self):
+        t = Topic("insert")
+        assert t.produce("a") == 0
+        assert t.produce("b") == 1
+        assert t.poll(0, 10) == ["a", "b"]
+        assert t.poll(1, 1) == ["b"]
+        assert t.poll(2, 5) == []
+
+    def test_poll_negative_offset(self):
+        with pytest.raises(ValueError):
+            Topic("t").poll(-1, 1)
+
+    def test_produce_many(self):
+        t = Topic("t")
+        end = t.produce_many(["x", "y", "z"])
+        assert end == 3 and len(t) == 3
+
+    def test_batches_are_contiguous(self):
+        t = Topic("t")
+        t.produce_many(str(i) for i in range(100))
+        batch = t.poll(40, 10)
+        assert batch == [str(i) for i in range(40, 50)]
+
+
+class TestBroker:
+    def test_named_topics(self):
+        b = Broker()
+        t1 = b.topic(Broker.INSERT)
+        t2 = b.topic(Broker.INSERT)
+        assert t1 is t2
+        b.topic(Broker.DELETE)
+        assert set(b.topics()) == {"insert", "delete"}
+
+
+class TestConsumer:
+    def test_cursor_advances(self):
+        t = Topic("t")
+        t.produce_many(str(i) for i in range(10))
+        c = Consumer(t)
+        assert c.poll(4) == ["0", "1", "2", "3"]
+        assert c.poll(4) == ["4", "5", "6", "7"]
+        assert c.lag == 2
+        c.seek(0)
+        assert c.poll(1) == ["0"]
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        row = [1.5, -2.25, 3e10]
+        assert decode_row(encode_row(row)) == row
+
+    def test_bulk_roundtrip(self):
+        rows = np.random.default_rng(0).normal(size=(20, 3))
+        out = decode_rows(encode_rows(rows))
+        assert np.allclose(out, rows)
+
+    def test_exact_floats(self):
+        """repr-based encoding preserves doubles exactly."""
+        row = [0.1, 1 / 3, np.pi]
+        assert decode_row(encode_row(row)) == [0.1, 1 / 3, float(np.pi)]
+
+
+def make_topic(n=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = np.column_stack([np.arange(n, dtype=float),
+                            rng.normal(size=n)])
+    t = Topic("data")
+    t.produce_many(encode_rows(rows))
+    return t, rows
+
+
+class TestSingletonSampler:
+    def test_sample_count_and_stats(self):
+        t, _ = make_topic()
+        s = SingletonSampler(t, seed=1)
+        out = s.sample(50)
+        assert len(out) == 50
+        assert s.stats.n_polls == 50
+        assert s.stats.n_records_transferred == 50
+
+    def test_rows_parse(self):
+        t, rows = make_topic()
+        s = SingletonSampler(t, seed=2)
+        for row in s.sample(20):
+            i = int(row[0])
+            assert row[1] == pytest.approx(rows[i, 1])
+
+    def test_roughly_uniform(self):
+        t, _ = make_topic(n=100)
+        s = SingletonSampler(t, seed=3)
+        hits = np.zeros(100)
+        for row in s.sample(5000):
+            hits[int(row[0])] += 1
+        assert hits.min() > 10                     # every offset reachable
+
+    def test_empty_topic(self):
+        assert SingletonSampler(Topic("e")).sample(5) == []
+
+
+class TestSequentialSampler:
+    def test_scans_whole_topic(self):
+        t, _ = make_topic(n=1000)
+        s = SequentialSampler(t, poll_size=100, seed=1)
+        out = s.sample(100)
+        assert s.stats.n_polls == 10
+        assert s.stats.n_records_transferred == 1000
+        # Bernoulli(k/n) subsample: allow generous band around 100
+        assert 50 <= len(out) <= 160
+
+    def test_poll_size_validation(self):
+        with pytest.raises(ValueError):
+            SequentialSampler(Topic("t"), poll_size=0)
+
+    def test_unbiased_positions(self):
+        t, _ = make_topic(n=500)
+        early, late = 0, 0
+        for seed in range(30):
+            s = SequentialSampler(t, poll_size=50, seed=seed)
+            for row in s.sample(50):
+                if int(row[0]) < 250:
+                    early += 1
+                else:
+                    late += 1
+        assert abs(early - late) / max(early + late, 1) < 0.15
+
+
+class TestChooseSampler:
+    def test_policy(self):
+        t, _ = make_topic(n=100)
+        assert isinstance(choose_sampler(t, 0.01), SingletonSampler)
+        assert isinstance(choose_sampler(t, 0.5), SequentialSampler)

@@ -1,0 +1,122 @@
+"""Tests for the synthetic dataset generators and workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.queries import AggFunc
+from repro.core.table import table_from_array
+from repro.datasets.synthetic import (Dataset, intel_wireless, load,
+                                      nasdaq_etf, nyc_taxi)
+from repro.datasets.workload import generate_workload, random_rectangle
+
+
+ALL = [intel_wireless, nyc_taxi, nasdaq_etf]
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("gen", ALL)
+    def test_shape_and_schema(self, gen):
+        ds = gen(n=2000, seed=0)
+        assert ds.data.shape == (2000, len(ds.schema))
+        assert ds.agg_attr in ds.schema
+        assert all(a in ds.schema for a in ds.predicate_attrs)
+        assert np.isfinite(ds.data).all()
+
+    @pytest.mark.parametrize("gen", ALL)
+    def test_deterministic(self, gen):
+        a = gen(n=500, seed=42)
+        b = gen(n=500, seed=42)
+        assert np.array_equal(a.data, b.data)
+
+    @pytest.mark.parametrize("gen", ALL)
+    def test_seed_changes_data(self, gen):
+        a = gen(n=500, seed=1)
+        b = gen(n=500, seed=2)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_intel_diurnal_light(self):
+        """Mid-day light should dominate night light on average."""
+        ds = intel_wireless(n=20000, seed=0)
+        time = ds.column("time") % 1.0
+        light = ds.column("light")
+        noon = light[(time > 0.45) & (time < 0.55)].mean()
+        night = light[(time < 0.05) | (time > 0.95)].mean()
+        assert noon > 3 * night
+
+    def test_taxi_rush_hours(self):
+        """Morning/evening peaks should beat 3am density."""
+        ds = nyc_taxi(n=30000, seed=0)
+        tod = ds.column("pickup_time_of_day")
+        morning = ((tod > 7.5) & (tod < 9.5)).sum()
+        night = ((tod > 2.0) & (tod < 4.0)).sum()
+        assert morning > 2 * night
+
+    def test_taxi_dropoff_after_pickup(self):
+        ds = nyc_taxi(n=5000, seed=0)
+        assert (ds.column("dropoff_time") > ds.column("pickup_time")).all()
+
+    def test_etf_price_ordering(self):
+        ds = nasdaq_etf(n=5000, seed=0)
+        assert (ds.column("high") >= ds.column("low")).all()
+        assert (ds.column("high") >= ds.column("close") - 1e-9).all()
+
+    def test_etf_heavy_tail_volume(self):
+        ds = nasdaq_etf(n=20000, seed=0)
+        vol = ds.column("volume")
+        assert vol.max() > 50 * np.median(vol)
+
+    def test_load_by_name(self):
+        ds = load("nyc_taxi", n=100, seed=3)
+        assert ds.name == "nyc_taxi" and ds.n == 100
+
+    def test_load_unknown(self):
+        with pytest.raises(KeyError):
+            load("nope", n=10)
+
+    def test_column_accessor(self):
+        ds = intel_wireless(n=100, seed=0)
+        assert ds.column("light").shape == (100,)
+
+
+class TestWorkload:
+    @pytest.fixture
+    def table(self):
+        ds = nyc_taxi(n=5000, seed=0)
+        return table_from_array(ds.schema, ds.data), ds
+
+    def test_rectangles_inside_domain(self, table):
+        t, ds = table
+        rng = np.random.default_rng(0)
+        domains = [t.domain(a) for a in ds.predicate_attrs]
+        for _ in range(50):
+            rect = random_rectangle(domains, rng)
+            for dim, (lo, hi) in enumerate(domains):
+                assert lo <= rect.lo[dim] <= rect.hi[dim] <= hi
+
+    def test_workload_size_and_determinism(self, table):
+        t, ds = table
+        q1 = generate_workload(t, AggFunc.SUM, ds.agg_attr,
+                               ds.predicate_attrs, n_queries=100, seed=5)
+        q2 = generate_workload(t, AggFunc.SUM, ds.agg_attr,
+                               ds.predicate_attrs, n_queries=100, seed=5)
+        assert len(q1) == 100
+        assert all(a.rect == b.rect for a, b in zip(q1, q2))
+
+    def test_min_count_filter(self, table):
+        t, ds = table
+        queries = generate_workload(t, AggFunc.SUM, ds.agg_attr,
+                                    ds.predicate_attrs, n_queries=50,
+                                    seed=1, min_count=20)
+        for q in queries:
+            mask = t.predicate_mask(q.predicate_attrs, q.rect)
+            assert mask.sum() >= 20
+
+    def test_multidim_workload(self):
+        ds = nasdaq_etf(n=5000, seed=0)
+        t = table_from_array(ds.schema, ds.data)
+        attrs = ("date", "volume", "open", "close", "high")
+        queries = generate_workload(t, AggFunc.SUM, "volume", attrs,
+                                    n_queries=20, seed=2, min_count=5,
+                                    min_width_frac=0.3, max_width_frac=0.9)
+        assert len(queries) == 20
+        assert all(q.rect.dim == 5 for q in queries)

@@ -1,0 +1,125 @@
+"""Tests for the treap-backed dynamic 1-D partitioning index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.queries import AggFunc
+from repro.partitioning.dynamic1d import DynamicOneDimIndex
+from repro.partitioning.onedim import OneDimPartitioner
+
+
+def sample_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, 100, n), rng.lognormal(0, 1, n)
+
+
+def filled(agg, keys, values, seed=1):
+    idx = DynamicOneDimIndex(agg, seed=seed)
+    for tid, (k, v) in enumerate(zip(keys, values)):
+        idx.insert(tid, float(k), float(v))
+    return idx
+
+
+class TestMaintenance:
+    def test_insert_delete(self):
+        idx = DynamicOneDimIndex(AggFunc.SUM)
+        idx.insert(0, 1.0, 10.0)
+        idx.insert(1, 2.0, 20.0)
+        assert len(idx) == 2
+        assert idx.delete(0, 1.0)
+        assert not idx.delete(0, 1.0)
+        assert len(idx) == 1
+
+    def test_rho_validation(self):
+        with pytest.raises(ValueError):
+            DynamicOneDimIndex(AggFunc.SUM, rho=0.5)
+
+    def test_empty_partition_raises(self):
+        with pytest.raises(ValueError):
+            DynamicOneDimIndex(AggFunc.SUM).partition(4)
+
+
+class TestCountFastPath:
+    def test_equal_size_buckets(self):
+        keys = np.arange(100.0)
+        idx = filled(AggFunc.COUNT, keys, np.ones(100))
+        result = idx.partition(4)
+        sizes = np.diff(result.bucket_index_bounds)
+        assert sizes.max() - sizes.min() <= 1
+        assert result.tree.n_leaves() == 4
+
+    def test_matches_array_partitioner(self):
+        keys, values = sample_data(seed=3)
+        idx = filled(AggFunc.COUNT, keys, values)
+        dynamic = idx.partition(8, n_population=5000)
+        static = OneDimPartitioner(AggFunc.COUNT).partition(
+            keys, np.ones_like(values), 8, n_population=5000)
+        # both produce near-equal-count buckets with the same worst error
+        # (the greedy ladder search may shift a boundary by one sample)
+        d_sizes = np.diff(dynamic.bucket_index_bounds)
+        s_sizes = np.diff(static.bucket_index_bounds)
+        assert d_sizes.max() - d_sizes.min() <= 1
+        assert s_sizes.max() <= d_sizes.max() + 2
+        assert dynamic.max_error <= static.max_error * 1.2 + 1e-9
+
+
+class TestSumPartitioning:
+    @pytest.mark.parametrize("seed", [0, 4, 9])
+    def test_equivalent_to_array_algorithm(self, seed):
+        """Same algorithm + same oracle => same bucket boundaries."""
+        keys, values = sample_data(seed=seed)
+        idx = filled(AggFunc.SUM, keys, values, seed=7)
+        dynamic = idx.partition(8, n_population=4000)
+        static = OneDimPartitioner(AggFunc.SUM).partition(
+            keys, values, 8, n_population=4000)
+        assert dynamic.bucket_index_bounds == static.bucket_index_bounds
+        assert dynamic.max_error == pytest.approx(static.max_error)
+
+    def test_partition_after_updates(self):
+        keys, values = sample_data(seed=5)
+        idx = filled(AggFunc.SUM, keys, values)
+        # delete half, insert fresh samples
+        for tid in range(0, 200, 2):
+            idx.delete(tid, float(keys[tid]))
+        rng = np.random.default_rng(8)
+        for tid in range(200, 300):
+            idx.insert(tid, float(rng.uniform(0, 100)),
+                       float(rng.lognormal(0, 1)))
+        result = idx.partition(8, n_population=4000)
+        assert result.tree.n_leaves() == 8
+        result.tree.validate()
+        assert result.bucket_index_bounds[-1] == len(idx)
+
+    def test_duplicate_keys(self):
+        keys = np.array([5.0] * 30 + [10.0] * 30)
+        values = np.arange(60.0)
+        idx = filled(AggFunc.SUM, keys, values)
+        result = idx.partition(4, n_population=600)
+        assert result.tree.n_leaves() >= 1
+        assert result.bucket_index_bounds[-1] == 60
+
+
+class TestAvgPartitioning:
+    def test_materialized_path(self):
+        keys, values = sample_data(seed=6)
+        idx = filled(AggFunc.AVG, keys, values)
+        dynamic = idx.partition(8, n_population=4000)
+        static = OneDimPartitioner(AggFunc.AVG).partition(
+            keys, values, 8, n_population=4000)
+        assert dynamic.bucket_index_bounds == static.bucket_index_bounds
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 50, allow_nan=False),
+                          st.floats(0.1, 5, allow_nan=False)),
+                min_size=4, max_size=60),
+       st.integers(2, 6))
+def test_property_dynamic_matches_static(pairs, k):
+    keys = np.array([p for p, _ in pairs])
+    values = np.array([v for _, v in pairs])
+    idx = filled(AggFunc.SUM, keys, values, seed=11)
+    dynamic = idx.partition(k, n_population=1000)
+    static = OneDimPartitioner(AggFunc.SUM).partition(
+        keys, values, k, n_population=1000)
+    assert dynamic.bucket_index_bounds == static.bucket_index_bounds

@@ -1,0 +1,127 @@
+"""Tests for the Appendix-C sample estimators, including unbiasedness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (avg_partial, count_partial, sum_partial,
+                                   uniform_estimate)
+
+
+class TestSumPartial:
+    def test_formula(self):
+        matched = np.array([2.0, 3.0])
+        c = sum_partial(n_i=100.0, m_i=10, matched_values=matched)
+        assert c.estimate == pytest.approx(100 / 10 * 5.0)
+        expect_var = 100 ** 2 / 1000 * (10 * 13 - 25)
+        assert c.variance == pytest.approx(expect_var)
+        assert c.n_matched == 2
+
+    def test_empty_leaf(self):
+        c = sum_partial(50.0, 0, np.array([]))
+        assert c.estimate == 0.0 and c.variance == 0.0
+
+    def test_no_matches(self):
+        c = sum_partial(50.0, 10, np.array([]))
+        assert c.estimate == 0.0 and c.variance == 0.0
+
+    def test_unbiased_monte_carlo(self):
+        """E[estimate] ~= true partial sum over repeated sampling."""
+        rng = np.random.default_rng(0)
+        stratum = rng.lognormal(0, 1, 500)
+        predicate = stratum > 1.2                 # the query's matches
+        truth = stratum[predicate].sum()
+        ests = []
+        for _ in range(400):
+            pick = rng.choice(500, size=50, replace=False)
+            matched = stratum[pick][predicate[pick]]
+            ests.append(sum_partial(500.0, 50, matched).estimate)
+        assert np.mean(ests) == pytest.approx(truth, rel=0.05)
+
+    def test_variance_predicts_spread(self):
+        """Empirical variance of estimates ~ reported variance."""
+        rng = np.random.default_rng(1)
+        stratum = rng.normal(10, 3, 1000)
+        predicate = stratum > 10
+        ests, vars_ = [], []
+        for _ in range(300):
+            pick = rng.choice(1000, size=100, replace=False)
+            matched = stratum[pick][predicate[pick]]
+            c = sum_partial(1000.0, 100, matched)
+            ests.append(c.estimate)
+            vars_.append(c.variance)
+        emp = np.var(ests)
+        rep = np.mean(vars_)
+        assert emp == pytest.approx(rep, rel=0.5)
+
+
+class TestCountPartial:
+    def test_formula(self):
+        c = count_partial(n_i=100.0, m_i=10, n_matched=4)
+        assert c.estimate == pytest.approx(40.0)
+        assert c.variance == pytest.approx(100 ** 2 / 1000 * (40 - 16))
+
+    def test_all_match_zero_variance(self):
+        c = count_partial(100.0, 10, 10)
+        assert c.variance == pytest.approx(0.0)
+
+    def test_unbiased(self):
+        rng = np.random.default_rng(2)
+        flags = rng.random(400) < 0.3
+        truth = flags.sum()
+        ests = []
+        for _ in range(400):
+            pick = rng.choice(400, size=40, replace=False)
+            ests.append(count_partial(400.0, 40,
+                                      int(flags[pick].sum())).estimate)
+        assert np.mean(ests) == pytest.approx(truth, rel=0.07)
+
+
+class TestAvgPartial:
+    def test_formula(self):
+        matched = np.array([4.0, 6.0])
+        c = avg_partial(n_i=100.0, n_q=200.0, m_i=10,
+                        matched_values=matched)
+        # n_i / (|matched| n_q) * sum = 100/(2*200)*10 = 2.5
+        assert c.estimate == pytest.approx(2.5)
+        w = 0.5
+        expect_var = w * w / (10 * 4) * (10 * 52 - 100)
+        assert c.variance == pytest.approx(expect_var)
+
+    def test_no_matches_contributes_zero(self):
+        c = avg_partial(100.0, 200.0, 10, np.array([]))
+        assert c.estimate == 0.0
+
+    def test_single_partition_equals_sample_mean(self):
+        """With one partition (w=1) the estimator is the matched mean."""
+        matched = np.array([3.0, 5.0, 7.0])
+        c = avg_partial(n_i=50.0, n_q=50.0, m_i=10, matched_values=matched)
+        assert c.estimate == pytest.approx(5.0)
+
+
+class TestUniformEstimate:
+    def test_count(self):
+        c = uniform_estimate("COUNT", 1000.0, 100, np.ones(30))
+        assert c.estimate == pytest.approx(300.0)
+
+    def test_sum(self):
+        c = uniform_estimate("SUM", 1000.0, 100, np.array([2.0, 4.0]))
+        assert c.estimate == pytest.approx(60.0)
+
+    def test_avg(self):
+        c = uniform_estimate("AVG", 1000.0, 100, np.array([2.0, 4.0]))
+        assert c.estimate == pytest.approx(3.0)
+
+    def test_avg_empty_nan(self):
+        c = uniform_estimate("AVG", 1000.0, 100, np.array([]))
+        assert math.isnan(c.estimate)
+
+    def test_min_max(self):
+        vals = np.array([3.0, 9.0, 1.0])
+        assert uniform_estimate("MIN", 10, 5, vals).estimate == 1.0
+        assert uniform_estimate("MAX", 10, 5, vals).estimate == 9.0
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            uniform_estimate("MEDIAN", 10, 5, np.ones(2))

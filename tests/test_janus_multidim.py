@@ -1,0 +1,113 @@
+"""Unit tests for JanusAQP with multi-dimensional predicate templates."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.janus import JanusAQP, JanusConfig
+from repro.core.queries import AggFunc, Query, Rectangle
+from repro.core.table import Table
+from repro.datasets.synthetic import nasdaq_etf, nyc_taxi
+
+
+@pytest.fixture(scope="module")
+def world2d():
+    ds = nyc_taxi(n=20_000, seed=0)
+    table = Table(ds.schema, capacity=ds.n + 16)
+    table.insert_many(ds.data[:16_000])
+    cfg = JanusConfig(k=32, sample_rate=0.04, catchup_rate=0.15,
+                      check_every=10 ** 9, seed=0)
+    janus = JanusAQP(table, "fare",
+                     ("pickup_time", "trip_distance"), config=cfg)
+    janus.initialize()
+    return janus, table, ds
+
+
+def rect2(lo1, hi1, lo2, hi2):
+    return Rectangle((lo1, lo2), (hi1, hi2))
+
+
+class TestTwoDimensional:
+    def test_kd_partitioning_used(self, world2d):
+        janus, _, _ = world2d
+        assert janus.dpt.k <= 32
+        assert janus.dpt.k > 1
+        # leaves partition a 2-D space: some split on each dimension
+        widths0 = {leaf.rect.widths()[0] for leaf in janus.dpt.leaves}
+        widths1 = {leaf.rect.widths()[1] for leaf in janus.dpt.leaves}
+        assert len(widths0) > 1 and len(widths1) > 1
+
+    def test_full_domain_exactness(self, world2d):
+        janus, table, ds = world2d
+        q = Query(AggFunc.COUNT, "fare",
+                  ("pickup_time", "trip_distance"),
+                  rect2(-math.inf, math.inf, -math.inf, math.inf))
+        assert janus.query(q).estimate == pytest.approx(len(table),
+                                                        rel=0.01)
+
+    def test_2d_sum_accuracy(self, world2d):
+        janus, table, ds = world2d
+        rng = np.random.default_rng(3)
+        errs = []
+        for _ in range(40):
+            lo1 = rng.uniform(0, 400)
+            lo2 = rng.uniform(0.1, 5)
+            q = Query(AggFunc.SUM, "fare",
+                      ("pickup_time", "trip_distance"),
+                      rect2(lo1, lo1 + 250, lo2, lo2 + 8))
+            truth = table.ground_truth(q)
+            if truth <= 0:
+                continue
+            errs.append(abs(janus.query(q).estimate - truth) / truth)
+        assert np.median(errs) < 0.15
+
+    def test_2d_updates(self, world2d):
+        janus, table, ds = world2d
+        q = Query(AggFunc.COUNT, "fare",
+                  ("pickup_time", "trip_distance"),
+                  rect2(-math.inf, math.inf, -math.inf, math.inf))
+        before = janus.query(q).estimate
+        for row in ds.data[16_000:16_800]:
+            janus.insert(row)
+        for tid in table.live_tids()[:300]:
+            janus.delete(int(tid))
+        after = janus.query(q).estimate
+        assert after == pytest.approx(before + 800 - 300, rel=0.01)
+
+    def test_2d_reoptimize(self, world2d):
+        janus, table, ds = world2d
+        rep = janus.reoptimize()
+        assert rep.total_seconds > 0
+        q = Query(AggFunc.SUM, "fare",
+                  ("pickup_time", "trip_distance"),
+                  rect2(-math.inf, math.inf, -math.inf, math.inf))
+        truth = table.ground_truth(q)
+        assert abs(janus.query(q).estimate - truth) / truth < 0.05
+
+
+class TestFiveDimensional:
+    def test_5d_template_end_to_end(self):
+        ds = nasdaq_etf(n=15_000, seed=1)
+        table = Table(ds.schema, capacity=ds.n + 16)
+        table.insert_many(ds.data)
+        attrs = ("date", "open", "close", "high", "low")
+        cfg = JanusConfig(k=32, sample_rate=0.05, catchup_rate=0.15,
+                          check_every=10 ** 9, seed=1)
+        janus = JanusAQP(table, "volume", attrs, config=cfg)
+        janus.initialize()
+        q = Query(AggFunc.COUNT, "volume", attrs,
+                  Rectangle((-math.inf,) * 5, (math.inf,) * 5))
+        assert janus.query(q).estimate == pytest.approx(len(table),
+                                                        rel=0.01)
+        # a selective 5-D box around the data medians
+        med = [float(np.median(table.column(a))) for a in attrs]
+        spans = [table.domain(a) for a in attrs]
+        rect = Rectangle(
+            tuple(m - 0.4 * (hi - lo) for m, (lo, hi) in zip(med, spans)),
+            tuple(m + 0.4 * (hi - lo) for m, (lo, hi) in zip(med, spans)))
+        q = Query(AggFunc.SUM, "volume", attrs, rect)
+        truth = table.ground_truth(q)
+        if truth > 0:
+            res = janus.query(q)
+            assert abs(res.estimate - truth) / truth < 0.5

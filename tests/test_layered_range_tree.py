@@ -1,0 +1,128 @@
+"""Tests for the Bentley-Saxe dynamized layered range tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.layered_range_tree import LayeredRangeTree, _StaticTree
+
+
+def brute(points, box):
+    x_lo, x_hi, y_lo, y_hi = box
+    c, s, s2 = 0, 0.0, 0.0
+    for x, y, v in points:
+        if x_lo <= x <= x_hi and y_lo <= y <= y_hi:
+            c += 1
+            s += v
+            s2 += v * v
+    return c, s, s2
+
+
+class TestStaticTree:
+    def test_exact_on_random_boxes(self):
+        rng = np.random.default_rng(0)
+        pts = [(float(x), float(y), float(v), tid)
+               for tid, (x, y, v) in enumerate(
+                   zip(rng.uniform(0, 100, 300),
+                       rng.uniform(0, 100, 300),
+                       rng.normal(0, 5, 300)))]
+        tree = _StaticTree(pts)
+        raw = [(x, y, v) for x, y, v, _ in pts]
+        for _ in range(30):
+            lo = rng.uniform(0, 80, 2)
+            hi = lo + rng.uniform(5, 40, 2)
+            got = tree.range_stats(lo[0], hi[0], lo[1], hi[1])
+            want = brute(raw, (lo[0], hi[0], lo[1], hi[1]))
+            assert got[0] == want[0]
+            assert got[1] == pytest.approx(want[1], abs=1e-9)
+            assert got[2] == pytest.approx(want[2], abs=1e-9)
+
+    def test_empty_box(self):
+        tree = _StaticTree([(1.0, 1.0, 5.0, 0)])
+        assert tree.range_stats(2, 3, 2, 3) == (0, 0.0, 0.0)
+
+
+class TestDynamic:
+    def test_insert_only(self):
+        rng = np.random.default_rng(1)
+        tree = LayeredRangeTree()
+        raw = []
+        for tid in range(200):
+            x, y, v = rng.uniform(0, 10), rng.uniform(0, 10), \
+                float(rng.normal())
+            tree.insert(tid, x, y, v)
+            raw.append((x, y, v))
+        got = tree.range_stats(2, 8, 2, 8)
+        want = brute(raw, (2, 8, 2, 8))
+        assert got[0] == want[0]
+        assert got[1] == pytest.approx(want[1], abs=1e-9)
+
+    def test_logarithmic_slot_count(self):
+        tree = LayeredRangeTree()
+        rng = np.random.default_rng(2)
+        for tid in range(500):
+            tree.insert(tid, rng.uniform(), rng.uniform(), 1.0)
+        # Bentley-Saxe: at most ceil(log2(n)) + 1 structures in use
+        assert tree.n_slots_in_use() <= int(np.log2(500)) + 2
+
+    def test_duplicate_tid_rejected(self):
+        tree = LayeredRangeTree()
+        tree.insert(1, 0, 0, 1.0)
+        with pytest.raises(KeyError):
+            tree.insert(1, 1, 1, 1.0)
+
+    def test_delete(self):
+        tree = LayeredRangeTree()
+        tree.insert(1, 5.0, 5.0, 7.0)
+        tree.insert(2, 6.0, 6.0, 3.0)
+        assert tree.delete(1)
+        assert not tree.delete(1)
+        c, s, _ = tree.range_stats(0, 10, 0, 10)
+        assert c == 1 and s == pytest.approx(3.0)
+
+    def test_heavy_deletion_rebuilds(self):
+        rng = np.random.default_rng(3)
+        tree = LayeredRangeTree()
+        raw = {}
+        for tid in range(300):
+            x, y, v = rng.uniform(0, 10), rng.uniform(0, 10), \
+                float(rng.normal())
+            tree.insert(tid, x, y, v)
+            raw[tid] = (x, y, v)
+        for tid in range(0, 300, 2):
+            tree.delete(tid)
+            del raw[tid]
+        got = tree.range_stats(1, 9, 1, 9)
+        want = brute(list(raw.values()), (1, 9, 1, 9))
+        assert got[0] == want[0]
+        assert got[1] == pytest.approx(want[1], abs=1e-9)
+        assert len(tree) == 150
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 10, allow_nan=False),
+                              st.floats(0, 10, allow_nan=False),
+                              st.floats(-5, 5, allow_nan=False),
+                              st.booleans()),
+                    min_size=1, max_size=80),
+           st.tuples(st.floats(0, 5), st.floats(0, 6),
+                     st.floats(0, 5), st.floats(0, 6)))
+    def test_property_churn_matches_brute_force(self, ops, box):
+        tree = LayeredRangeTree()
+        live = {}
+        tid = 0
+        for x, y, v, is_delete in ops:
+            if is_delete and live:
+                victim = next(iter(live))
+                tree.delete(victim)
+                del live[victim]
+            else:
+                tree.insert(tid, x, y, v)
+                live[tid] = (x, y, v)
+                tid += 1
+        x_lo, wx, y_lo, wy = box
+        query = (x_lo, x_lo + wx, y_lo, y_lo + wy)
+        got = tree.range_stats(*query)
+        want = brute(list(live.values()), query)
+        assert got[0] == want[0]
+        assert got[1] == pytest.approx(want[1], abs=1e-9)
+        assert got[2] == pytest.approx(want[2], abs=1e-9)

@@ -1,0 +1,263 @@
+"""Tests for the four partitioners: BS, DP, k-d tree, equi-depth."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.queries import AggFunc, Rectangle
+from repro.index.range_index import RangeIndex
+from repro.partitioning.dp import DPPartitioner
+from repro.partitioning.equidepth import (equidepth_boundaries,
+                                          equidepth_tree)
+from repro.partitioning.kdtree import KDTreePartitioner
+from repro.partitioning.maxvar import PrefixStats
+from repro.partitioning.onedim import OneDimPartitioner
+from repro.partitioning.spec import PartitionNode, tree_from_intervals
+
+
+def sample_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.uniform(0, 100, n)
+    values = rng.lognormal(0, 1, n)
+    return keys, values
+
+
+def leaves_cover_all(tree, keys):
+    """Every key must land in exactly one leaf interval."""
+    for key in keys:
+        hits = sum(1 for leaf in tree.leaves()
+                   if leaf.rect.contains_point((key,)))
+        assert hits == 1
+
+
+class TestSpec:
+    def test_tree_from_intervals(self):
+        full = Rectangle((0.0,), (10.0,))
+        tree = tree_from_intervals([3.0, 7.0], full)
+        assert tree.n_leaves() == 3
+        tree.validate()
+        leaves = list(tree.leaves())
+        assert leaves[0].rect.lo[0] == 0.0
+        assert leaves[-1].rect.hi[0] == 10.0
+
+    def test_single_leaf(self):
+        tree = tree_from_intervals([], Rectangle((0.0,), (1.0,)))
+        assert tree.n_leaves() == 1
+
+    def test_balanced_height(self):
+        tree = tree_from_intervals(list(range(1, 64)),
+                                   Rectangle((0.0,), (64.0,)))
+        assert tree.n_leaves() == 64
+        assert tree.height() <= 8                 # log2(64)+1 = 7
+
+    def test_validate_catches_overlap(self):
+        bad = PartitionNode(
+            Rectangle((0.0,), (10.0,)),
+            [PartitionNode(Rectangle((0.0,), (6.0,))),
+             PartitionNode(Rectangle((5.0,), (10.0,)))])
+        with pytest.raises(AssertionError):
+            bad.validate()
+
+    def test_validate_catches_escape(self):
+        bad = PartitionNode(
+            Rectangle((0.0,), (10.0,)),
+            [PartitionNode(Rectangle((0.0,), (12.0,)))])
+        with pytest.raises(AssertionError):
+            bad.validate()
+
+
+class TestOneDim:
+    @pytest.mark.parametrize("agg", [AggFunc.SUM, AggFunc.COUNT,
+                                     AggFunc.AVG])
+    def test_partitions_cover_samples(self, agg):
+        keys, values = sample_data()
+        result = OneDimPartitioner(agg).partition(keys, values, k=16)
+        assert result.tree.n_leaves() <= 16
+        result.tree.validate()
+        leaves_cover_all(result.tree, keys)
+
+    def test_k_leaves_created(self):
+        keys, values = sample_data()
+        result = OneDimPartitioner(AggFunc.SUM).partition(keys, values, 8)
+        assert result.tree.n_leaves() == 8
+
+    def test_respects_domain(self):
+        keys, values = sample_data()
+        result = OneDimPartitioner(AggFunc.SUM).partition(
+            keys, values, 4, domain=(-10.0, 200.0))
+        assert result.tree.rect.lo[0] == -10.0
+        assert result.tree.rect.hi[0] == 200.0
+
+    def test_max_error_near_optimal(self):
+        """BS result within the paper's 2*rho*sqrt(2) of the DP optimum."""
+        keys, values = sample_data(n=60, seed=3)
+        k = 4
+        bs = OneDimPartitioner(AggFunc.SUM, rho=2.0).partition(
+            keys, values, k)
+        dp = DPPartitioner(AggFunc.SUM).partition(keys, values, k)
+        factor = 2 * 2.0 * math.sqrt(2)
+        assert bs.max_error <= factor * max(dp.max_error, 1e-12) + 1e-9
+
+    def test_constant_values(self):
+        keys = np.arange(50.0)
+        values = np.full(50, 3.0)
+        result = OneDimPartitioner(AggFunc.AVG).partition(keys, values, 5)
+        leaves_cover_all(result.tree, keys)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            OneDimPartitioner(AggFunc.SUM).partition(
+                np.array([]), np.array([]), 4)
+
+    def test_rho_validation(self):
+        with pytest.raises(ValueError):
+            OneDimPartitioner(AggFunc.SUM, rho=1.0)
+
+    def test_k_larger_than_m(self):
+        keys, values = sample_data(n=5)
+        result = OneDimPartitioner(AggFunc.SUM).partition(keys, values, 50)
+        assert result.tree.n_leaves() <= 5
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 10),
+           st.lists(st.tuples(st.floats(0, 100, allow_nan=False),
+                              st.floats(0.1, 10, allow_nan=False)),
+                    min_size=4, max_size=80))
+    def test_property_valid_partition(self, k, pairs):
+        keys = np.array([p for p, _ in pairs])
+        values = np.array([v for _, v in pairs])
+        result = OneDimPartitioner(AggFunc.SUM).partition(keys, values, k)
+        result.tree.validate()
+        leaves_cover_all(result.tree, keys)
+
+
+class TestDP:
+    def test_dp_is_optimal_for_oracle(self):
+        """DP's max bucket error <= BS's (it searches exhaustively)."""
+        keys, values = sample_data(n=80, seed=7)
+        for k in (2, 4, 8):
+            dp = DPPartitioner(AggFunc.SUM).partition(keys, values, k)
+            bs = OneDimPartitioner(AggFunc.SUM).partition(keys, values, k)
+            assert dp.max_error <= bs.max_error + 1e-9
+
+    def test_boundaries_are_monotone(self):
+        keys, values = sample_data(n=50)
+        result = DPPartitioner(AggFunc.SUM).partition(keys, values, 5)
+        assert result.bucket_index_bounds == \
+            sorted(result.bucket_index_bounds)
+        assert result.bucket_index_bounds[0] == 0
+        assert result.bucket_index_bounds[-1] == 50
+
+    @pytest.mark.parametrize("agg", [AggFunc.SUM, AggFunc.COUNT,
+                                     AggFunc.AVG])
+    def test_all_aggregates(self, agg):
+        keys, values = sample_data(n=40)
+        result = DPPartitioner(agg).partition(keys, values, 4)
+        result.tree.validate()
+        leaves_cover_all(result.tree, keys)
+
+    def test_count_equal_depth_optimality(self):
+        """For COUNT the optimum is equal-size buckets (paper D.2)."""
+        keys = np.sort(sample_data(n=64)[0])
+        values = np.ones(64)
+        dp = DPPartitioner(AggFunc.COUNT).partition(keys, values, 4)
+        sizes = np.diff(dp.bucket_index_bounds)
+        assert sizes.max() - sizes.min() <= 1
+
+
+class TestKDTree:
+    def make_index(self, n=300, dim=2, seed=0):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 100, size=(n, dim))
+        vals = rng.lognormal(0, 1, n)
+        idx = RangeIndex(dim, seed=1, leaf_size=8)
+        for tid in range(n):
+            idx.insert(tid, pts[tid], vals[tid])
+        return idx, pts, vals
+
+    @pytest.mark.parametrize("agg", [AggFunc.SUM, AggFunc.COUNT,
+                                     AggFunc.AVG])
+    def test_builds_k_leaves(self, agg):
+        idx, _, _ = self.make_index()
+        root_rect = Rectangle((0.0, 0.0), (100.0, 100.0))
+        result = KDTreePartitioner(agg).partition(idx, 16,
+                                                  root_rect=root_rect)
+        assert result.tree.n_leaves() == 16
+        result.tree.validate()
+
+    def test_all_points_covered(self):
+        idx, pts, _ = self.make_index()
+        root_rect = Rectangle((0.0, 0.0), (100.0, 100.0))
+        result = KDTreePartitioner(AggFunc.SUM).partition(
+            idx, 12, root_rect=root_rect)
+        for p in pts:
+            hits = sum(1 for leaf in result.tree.leaves()
+                       if leaf.rect.contains_point(p))
+            assert hits == 1
+
+    def test_one_dimensional(self):
+        rng = np.random.default_rng(2)
+        idx = RangeIndex(1, seed=0)
+        pts = rng.uniform(0, 10, 100)
+        for tid, p in enumerate(pts):
+            idx.insert(tid, (p,), float(rng.normal()))
+        result = KDTreePartitioner(AggFunc.SUM).partition(
+            idx, 8, root_rect=Rectangle((0.0,), (10.0,)))
+        assert result.tree.n_leaves() == 8
+
+    def test_five_dimensional(self):
+        idx, _, _ = self.make_index(n=400, dim=5, seed=3)
+        root_rect = Rectangle((0.0,) * 5, (100.0,) * 5)
+        result = KDTreePartitioner(AggFunc.SUM).partition(
+            idx, 32, root_rect=root_rect)
+        assert result.tree.n_leaves() == 32
+        result.tree.validate()
+
+    def test_empty_index_raises(self):
+        idx = RangeIndex(2)
+        with pytest.raises(ValueError):
+            KDTreePartitioner(AggFunc.SUM).partition(idx, 4)
+
+    def test_splits_high_variance_regions_more(self):
+        """Leaves should be denser where values vary wildly."""
+        rng = np.random.default_rng(5)
+        idx = RangeIndex(1, seed=0, leaf_size=8)
+        # left half: constant values; right half: huge variance
+        tid = 0
+        for x in rng.uniform(0, 50, 200):
+            idx.insert(tid, (x,), 1.0)
+            tid += 1
+        for x in rng.uniform(50, 100, 200):
+            idx.insert(tid, (x,), float(rng.lognormal(3, 2)))
+            tid += 1
+        result = KDTreePartitioner(AggFunc.SUM).partition(
+            idx, 16, root_rect=Rectangle((0.0,), (100.0,)))
+        left = sum(1 for leaf in result.tree.leaves()
+                   if leaf.rect.hi[0] <= 50.0 + 1e-9)
+        right = sum(1 for leaf in result.tree.leaves()
+                    if leaf.rect.lo[0] >= 50.0 - 1e-9)
+        assert right > left
+
+
+class TestEquidepth:
+    def test_boundaries_equalize_counts(self):
+        keys = np.arange(100.0)
+        cuts = equidepth_boundaries(keys, 4)
+        assert len(cuts) == 3
+        assert cuts == [24.0, 49.0, 74.0]
+
+    def test_tree(self):
+        keys = np.arange(100.0)
+        tree = equidepth_tree(keys, 8)
+        assert tree.n_leaves() == 8
+        tree.validate()
+
+    def test_duplicate_keys_deduped(self):
+        keys = np.array([1.0] * 50 + [2.0] * 50)
+        cuts = equidepth_boundaries(keys, 10)
+        assert len(cuts) <= 2
+
+    def test_empty(self):
+        assert equidepth_boundaries(np.array([]), 4) == []

@@ -1,0 +1,120 @@
+"""Tests for synopsis save/load (repro.core.persist)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.janus import JanusAQP, JanusConfig
+from repro.core.persist import load_synopsis, save_synopsis
+from repro.core.queries import AggFunc, Query, Rectangle
+from repro.core.table import Table
+from repro.datasets.synthetic import nyc_taxi
+
+
+@pytest.fixture
+def world(tmp_path):
+    ds = nyc_taxi(n=15_000, seed=0)
+    table = Table(ds.schema, capacity=ds.n + 16)
+    table.insert_many(ds.data[:12_000])
+    cfg = JanusConfig(k=16, sample_rate=0.03, catchup_rate=0.10,
+                      check_every=10 ** 9, seed=0)
+    janus = JanusAQP(table, ds.agg_attr, ds.predicate_attrs, config=cfg)
+    janus.initialize()
+    path = str(tmp_path / "synopsis.npz")
+    return janus, table, ds, path
+
+
+def workload(ds, n=30):
+    rng = np.random.default_rng(5)
+    out = []
+    for _ in range(n):
+        lo = rng.uniform(0, 500)
+        out.append(Query(AggFunc.SUM, ds.agg_attr, ds.predicate_attrs,
+                         Rectangle((lo,), (lo + rng.uniform(50, 200),))))
+    return out
+
+
+class TestRoundtrip:
+    def test_estimates_identical_after_reload(self, world):
+        janus, table, ds, path = world
+        queries = workload(ds)
+        before = [janus.query(q).estimate for q in queries]
+        save_synopsis(janus, path)
+        restored = load_synopsis(path, table)
+        after = [restored.query(q).estimate for q in queries]
+        assert after == pytest.approx(before, rel=1e-12)
+
+    def test_variances_identical(self, world):
+        janus, table, ds, path = world
+        queries = workload(ds, n=10)
+        before = [janus.query(q).variance for q in queries]
+        save_synopsis(janus, path)
+        restored = load_synopsis(path, table)
+        after = [restored.query(q).variance for q in queries]
+        assert after == pytest.approx(before, rel=1e-12)
+
+    def test_all_aggregates_survive(self, world):
+        janus, table, ds, path = world
+        save_synopsis(janus, path)
+        restored = load_synopsis(path, table)
+        q = Query(AggFunc.SUM, ds.agg_attr, ds.predicate_attrs,
+                  Rectangle((-math.inf,), (math.inf,)))
+        for agg in (AggFunc.COUNT, AggFunc.AVG, AggFunc.MIN, AggFunc.MAX,
+                    AggFunc.STDDEV):
+            qq = q.with_agg(agg)
+            assert restored.query(qq).estimate == pytest.approx(
+                janus.query(qq).estimate, rel=1e-9)
+
+    def test_updates_continue_after_reload(self, world):
+        janus, table, ds, path = world
+        save_synopsis(janus, path)
+        restored = load_synopsis(path, table)
+        q = Query(AggFunc.COUNT, ds.agg_attr, ds.predicate_attrs,
+                  Rectangle((-math.inf,), (math.inf,)))
+        before = restored.query(q).estimate
+        for row in ds.data[12_000:12_500]:
+            restored.insert(row)
+        assert restored.query(q).estimate == pytest.approx(before + 500,
+                                                           rel=0.01)
+
+    def test_reoptimize_after_reload(self, world):
+        janus, table, ds, path = world
+        save_synopsis(janus, path)
+        restored = load_synopsis(path, table)
+        report = restored.reoptimize()
+        assert report.total_seconds > 0
+        q = Query(AggFunc.SUM, ds.agg_attr, ds.predicate_attrs,
+                  Rectangle((-math.inf,), (math.inf,)))
+        truth = table.ground_truth(q)
+        assert abs(restored.query(q).estimate - truth) / truth < 0.05
+
+
+class TestValidation:
+    def test_uninitialized_save_rejected(self, world, tmp_path):
+        _, table, ds, _ = world
+        fresh = JanusAQP(table, ds.agg_attr, ds.predicate_attrs)
+        with pytest.raises(RuntimeError):
+            save_synopsis(fresh, str(tmp_path / "x.npz"))
+
+    def test_schema_mismatch_rejected(self, world, tmp_path):
+        janus, table, ds, path = world
+        save_synopsis(janus, path)
+        other = Table(("a", "b"))
+        other.insert((1.0, 2.0))
+        with pytest.raises(ValueError):
+            load_synopsis(path, other)
+
+    def test_pool_members_deleted_from_table_are_dropped(self, world):
+        janus, table, ds, path = world
+        save_synopsis(janus, path)
+        victims = [t for t in janus.reservoir.tids()][:5]
+        for tid in victims:
+            table.delete(tid)
+        restored = load_synopsis(path, table)
+        for tid in victims:
+            assert tid not in restored.reservoir
+        # still answers queries
+        q = Query(AggFunc.SUM, ds.agg_attr, ds.predicate_attrs,
+                  Rectangle((100.0,), (400.0,)))
+        assert np.isfinite(restored.query(q).estimate)

