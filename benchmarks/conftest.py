@@ -7,6 +7,7 @@ style table or series it regenerates.  Results are written to
 run with ``-s`` to see them live.
 """
 
+import json
 import os
 from pathlib import Path
 
@@ -19,3 +20,14 @@ def emit(name: str, text: str) -> None:
     banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
     print(banner + text)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable result under benchmarks/out/<name>.json.
+
+    Used to track the performance trajectory across PRs; keep keys
+    stable so successive runs stay diffable.
+    """
+    path = OUT_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] wrote {path}")

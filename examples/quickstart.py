@@ -45,12 +45,13 @@ def main() -> None:
           f"(rel. error {abs(result.estimate - truth) / truth:.2%})")
 
     # 4. Stream insertions and deletions; estimates track them exactly
-    #    through the per-node delta statistics.
-    for row in ds.data[ds.n // 2: ds.n // 2 + 5_000]:
-        janus.insert(row)
+    #    through the per-node delta statistics.  Batched ingestion
+    #    (insert_many / delete_many) is 5-10x faster than the per-row
+    #    calls and produces the identical synopsis state.
+    janus.insert_many(ds.data[ds.n // 2: ds.n // 2 + 5_000])
     rng = np.random.default_rng(1)
-    for tid in rng.choice(table.live_tids(), size=1_000, replace=False):
-        janus.delete(int(tid))
+    janus.delete_many(rng.choice(table.live_tids(), size=1_000,
+                                 replace=False))
     result = janus.query(query)
     truth = table.ground_truth(query)
     print(f"\nafter 5000 inserts and 1000 deletes:")

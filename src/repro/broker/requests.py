@@ -49,6 +49,19 @@ def encode_insert(key: int, values: Sequence[float]) -> str:
     return f"I{_FIELD_SEP}{key}{_FIELD_SEP}{nums}"
 
 
+def encode_inserts(start_key: int,
+                   rows: Sequence[Sequence[float]]
+                   ) -> Tuple[List[str], List[int]]:
+    """Encode a row block as insert records with consecutive client keys.
+
+    Returns ``(records, keys)`` where ``keys[i]`` is ``start_key + i``;
+    the batch producer path uses this with ``Topic.produce_many``.
+    """
+    keys = list(range(start_key, start_key + len(rows)))
+    records = [encode_insert(key, row) for key, row in zip(keys, rows)]
+    return records, keys
+
+
 def encode_delete(key: int) -> str:
     return f"D{_FIELD_SEP}{key}"
 

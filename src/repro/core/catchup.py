@@ -79,13 +79,13 @@ class CatchupRunner:
         for start in range(0, order.size, batch_size):
             chunk = order[start:start + batch_size]
             t0 = time.perf_counter()
-            rows = [table.row(int(t)) for t in chunk if int(t) in table]
+            live = [int(t) for t in chunk if int(t) in table]
+            rows = table.rows_for(live)
             report.loading_seconds += time.perf_counter() - t0
             t1 = time.perf_counter()
-            for row in rows:
-                self.dpt.add_catchup_row(row)
+            self.dpt.add_catchup_rows(rows)
             report.processing_seconds += time.perf_counter() - t1
-            report.n_processed += len(rows)
+            report.n_processed += len(live)
             if on_batch is not None:
                 on_batch(report.n_processed)
         return report
@@ -112,8 +112,9 @@ class CatchupRunner:
         rows = sampler.sample(goal)
         report.loading_seconds = sampler.stats.loading_seconds - before
         t1 = time.perf_counter()
-        for row in rows:
-            self.dpt.add_catchup_row(np.asarray(row, dtype=np.float64))
+        if len(rows):
+            self.dpt.add_catchup_rows(
+                np.asarray(rows, dtype=np.float64))
         report.processing_seconds = time.perf_counter() - t1
         report.n_processed = len(rows)
         return report
@@ -127,8 +128,8 @@ def seed_from_reservoir(dpt: DynamicPartitionTree,
     sample - "the only blocking step in the re-initialization routine".
     Returns the number of rows seeded.
     """
-    n = 0
-    for row in rows:
-        dpt.add_catchup_row(np.asarray(row, dtype=np.float64))
-        n += 1
-    return n
+    block = [np.asarray(row, dtype=np.float64) for row in rows]
+    if not block:
+        return 0
+    dpt.add_catchup_rows(np.stack(block))
+    return len(block)

@@ -18,6 +18,13 @@ Query processing (Section 4.4) decomposes a predicate into fully covered
 nodes (answered from node statistics, contributing catch-up variance
 nu_c) and partially covered leaves (answered from stratified samples,
 contributing nu_s); see :mod:`repro.core.estimators` for the formulas.
+
+Maintenance is vectorized: :meth:`DynamicPartitionTree.insert_rows` /
+:meth:`~DynamicPartitionTree.delete_rows` /
+:meth:`~DynamicPartitionTree.add_catchup_rows` route an ``(n, d)``
+coordinate batch to leaves with vectorized rectangle tests and apply
+grouped per-node statistics along the root-to-leaf paths; the per-row
+methods delegate to the same machinery.
 """
 
 from __future__ import annotations
@@ -64,7 +71,9 @@ class DynamicPartitionTree:
         self._next_id = 0
         self.root = self._build(spec, self._mm_pos, minmax_k)
         self._inflate_edges()
-        self.leaves: List[DPTNode] = [n for n in self._nodes if n.is_leaf]
+        self.leaves: List[DPTNode] = []
+        self._leaf_pos: Dict[int, int] = {}
+        self._index_leaves()
         self.n_updates = 0
 
     # ------------------------------------------------------------------ #
@@ -111,8 +120,12 @@ class DynamicPartitionTree:
             n = stack.pop()
             self._nodes.append(n)
             stack.extend(n.children)
-        self.leaves = [n for n in self._nodes if n.is_leaf]
+        self._index_leaves()
         return new_nodes
+
+    def _index_leaves(self) -> None:
+        self.leaves = [n for n in self._nodes if n.is_leaf]
+        self._leaf_pos = {n.node_id: i for i, n in enumerate(self.leaves)}
 
     def subtree_leaf_count(self, node: DPTNode) -> int:
         count = 0
@@ -224,36 +237,139 @@ class DynamicPartitionTree:
             path.append(node)
         return path
 
+    def _route_batch(self, coords: np.ndarray
+                     ) -> Tuple[List[Tuple[DPTNode, np.ndarray]],
+                                np.ndarray]:
+        """Route an ``(n, d)`` coordinate batch to leaves in one sweep.
+
+        Returns ``(assignments, leaf_of)``: ``assignments`` lists every
+        node lying on some row's root-to-leaf path together with the
+        indices of the rows routed through it (the root carries all
+        rows), ``leaf_of`` maps each row to its leaf's position in
+        :attr:`leaves`.  Child selection matches :meth:`_path` exactly -
+        first containing child, else nearest by L1 rectangle distance
+        with first-minimum tie-breaking - so the batch and per-row paths
+        land every row on the same leaf.
+        """
+        n = coords.shape[0]
+        leaf_of = np.empty(n, dtype=np.intp)
+        assignments: List[Tuple[DPTNode, np.ndarray]] = []
+        stack: List[Tuple[DPTNode, np.ndarray]] = \
+            [(self.root, np.arange(n))]
+        while stack:
+            node, idx = stack.pop()
+            assignments.append((node, idx))
+            if node.is_leaf:
+                leaf_of[idx] = self._leaf_pos[node.node_id]
+                continue
+            unassigned = np.ones(idx.size, dtype=bool)
+            for child in node.children:
+                if not unassigned.any():
+                    break
+                sub = idx[unassigned]
+                inside = child.rect.contains_points(coords[sub])
+                if inside.any():
+                    stack.append((child, sub[inside]))
+                    where = np.flatnonzero(unassigned)
+                    unassigned[where[inside]] = False
+            if unassigned.any():
+                # numeric edge case: snap leftovers to the nearest child
+                sub = idx[unassigned]
+                dists = np.stack([child.rect.distances(coords[sub])
+                                  for child in node.children])
+                choice = np.argmin(dists, axis=0)
+                for ci, child in enumerate(node.children):
+                    rows = sub[choice == ci]
+                    if rows.size:
+                        stack.append((child, rows))
+        return assignments, leaf_of
+
+    @staticmethod
+    def _as_batch(rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2:
+            raise ValueError("rows must be a 2-D (n, n_attrs) array")
+        return rows
+
     # ------------------------------------------------------------------ #
     # maintenance (Figure 3)
     # ------------------------------------------------------------------ #
     def insert_row(self, row: np.ndarray) -> DPTNode:
-        stats = self._stat_values(row)
-        path = self._path(self._coords(row))
-        for node in path:
-            node.apply_insert(stats)
-        self.n_updates += 1
-        return path[-1]
+        leaf_of = self.insert_rows(
+            np.asarray(row, dtype=np.float64)[None, :])
+        return self.leaves[int(leaf_of[0])]
 
     def delete_row(self, row: np.ndarray) -> DPTNode:
-        stats = self._stat_values(row)
-        path = self._path(self._coords(row))
-        for node in path:
-            node.apply_delete(stats)
-        self.n_updates += 1
-        return path[-1]
+        leaf_of = self.delete_rows(
+            np.asarray(row, dtype=np.float64)[None, :])
+        return self.leaves[int(leaf_of[0])]
+
+    def insert_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized insert of an ``(n, n_attrs)`` row block.
+
+        Every node on a root-to-leaf path receives its rows' delta
+        statistics as one grouped accumulation instead of n scalar
+        updates.  Returns per-row leaf positions (indices into
+        :attr:`leaves`).
+        """
+        rows = self._as_batch(rows)
+        n = rows.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.intp)
+        self.n_updates += n
+        if n == 1:
+            # scalar route: a one-row reduction equals the row exactly,
+            # so this path is bit-identical to the batched one
+            stats = rows[0, self._stat_idx]
+            path = self._path(rows[0, self._pred_idx])
+            for node in path:
+                node.apply_insert(stats)
+            return np.array([self._leaf_pos[path[-1].node_id]],
+                            dtype=np.intp)
+        stats = rows[:, self._stat_idx]
+        assignments, leaf_of = self._route_batch(rows[:, self._pred_idx])
+        for node, idx in assignments:
+            node.apply_insert_batch(stats[idx])
+        return leaf_of
+
+    def delete_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized delete of an ``(n, n_attrs)`` row block."""
+        rows = self._as_batch(rows)
+        n = rows.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.intp)
+        self.n_updates += n
+        if n == 1:
+            stats = rows[0, self._stat_idx]
+            path = self._path(rows[0, self._pred_idx])
+            for node in path:
+                node.apply_delete(stats)
+            return np.array([self._leaf_pos[path[-1].node_id]],
+                            dtype=np.intp)
+        stats = rows[:, self._stat_idx]
+        assignments, leaf_of = self._route_batch(rows[:, self._pred_idx])
+        for node, idx in assignments:
+            node.apply_delete_batch(stats[idx])
+        return leaf_of
 
     def add_catchup_row(self, row: np.ndarray) -> DPTNode:
         """Propagate one archival sample through the tree (Section 4.3)."""
-        stats = self._stat_values(row)
-        path = self._path(self._coords(row))
+        row = np.asarray(row, dtype=np.float64)
+        stats = row[self._stat_idx]
+        path = self._path(row[self._pred_idx])
         for node in path:
             node.add_catchup(stats)
         return path[-1]
 
     def add_catchup_rows(self, rows: np.ndarray) -> None:
-        for row in rows:
-            self.add_catchup_row(row)
+        """Vectorized catch-up: one grouped accumulation per path node."""
+        rows = self._as_batch(rows)
+        if rows.shape[0] == 0:
+            return
+        stats = rows[:, self._stat_idx]
+        assignments, _ = self._route_batch(rows[:, self._pred_idx])
+        for node, idx in assignments:
+            node.add_catchup_batch(stats[idx])
 
     # ------------------------------------------------------------------ #
     # query processing (Section 4.4)

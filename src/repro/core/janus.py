@@ -18,6 +18,11 @@
 
 Queries never touch the base table: they are answered entirely from node
 statistics and the pooled sample (Section 4.4).
+
+Ingestion is batched end to end: :meth:`JanusAQP.insert_many` /
+:meth:`JanusAQP.delete_many` apply a whole row block under one lock with
+one vectorized pass per layer, and the per-row :meth:`JanusAQP.insert` /
+:meth:`JanusAQP.delete` are thin wrappers over the same path.
 """
 
 from __future__ import annotations
@@ -199,10 +204,10 @@ class JanusAQP:
             for start in range(0, order.size, batch_size):
                 chunk = order[start:start + batch_size]
                 with self._lock:                 # phase 5, interleaved
-                    for tid in chunk:
-                        tid = int(tid)
-                        if tid in self.table:
-                            self.dpt.add_catchup_row(self.table.row(tid))
+                    live = [int(t) for t in chunk
+                            if int(t) in self.table]
+                    if live:
+                        self.dpt.add_catchup_rows(self.table.rows_for(live))
             with self._lock:
                 if self.trigger is not None:
                     self.trigger.rebase(self.dpt)
@@ -326,15 +331,30 @@ class JanusAQP:
     # ------------------------------------------------------------------ #
     def insert(self, values: Sequence[float]) -> int:
         """Insert a tuple: table, reservoir, and tree path all update."""
+        return self.insert_many(
+            np.asarray(values, dtype=np.float64)[None, :])[0]
+
+    def insert_many(self, rows: np.ndarray) -> List[int]:
+        """Bulk insert an ``(n, n_attrs)`` block under one lock.
+
+        The whole batch flows through every layer vectorized: one
+        columnar append, one batched root-to-leaf statistics pass, one
+        reservoir acceptance draw, and one trigger check accounting for
+        n updates.  Returns the assigned tids in row order.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2:
+            raise ValueError("rows must be a 2-D (n, n_attrs) array")
+        if rows.shape[0] == 0:
+            return []
         with self._lock:
-            tid = self.table.insert(values)
-            row = self.table.row(tid)
-            leaf = self.dpt.insert_row(row) if self.dpt else None
-            self.reservoir.on_insert(tid)
+            tids = self.table.insert_many(rows)
+            leaf_of = self.dpt.insert_rows(rows) if self.dpt else None
+            self.reservoir.on_insert_many(tids)
             self._maybe_grow_pool()
-            if leaf is not None:
-                self._after_update(leaf)
-            return tid
+            if leaf_of is not None:
+                self._after_update_batch(leaf_of)
+            return tids
 
     def _maybe_grow_pool(self) -> None:
         """Track the paper's standing pool size 2m = 2 * rate * |D|.
@@ -350,17 +370,38 @@ class JanusAQP:
 
     def delete(self, tid: int) -> None:
         """Delete a live tuple by id."""
-        with self._lock:
-            row = self.table.delete(tid)
-            leaf = self.dpt.delete_row(row) if self.dpt else None
-            self.reservoir.on_delete(tid)
-            if leaf is not None:
-                self._after_update(leaf)
+        self.delete_many((tid,))
 
-    def _after_update(self, leaf: DPTNode) -> None:
+    def delete_many(self, tids: Sequence[int]) -> None:
+        """Bulk delete live tuples by id under one lock.
+
+        Mirrors :meth:`insert_many`: one columnar table update, one
+        batched tree statistics pass, one reservoir eviction sweep, one
+        trigger check.  Raises ``KeyError`` (before any state changes)
+        if a tid is not live or appears twice.
+        """
+        tids = [int(t) for t in tids]
+        if not tids:
+            return
+        with self._lock:
+            rows = self.table.delete_many(tids)
+            leaf_of = self.dpt.delete_rows(rows) if self.dpt else None
+            self.reservoir.on_delete_many(tids)
+            if leaf_of is not None:
+                self._after_update_batch(leaf_of)
+
+    def _after_update_batch(self, leaf_of: np.ndarray) -> None:
         if self.trigger is None:
             return
-        action = self.trigger.on_update(self.dpt, leaf)
+        uniq, counts = np.unique(leaf_of, return_counts=True)
+        self._after_update([(self.dpt.leaves[int(pos)], int(c))
+                            for pos, c in zip(uniq, counts)])
+
+    def _after_update(self, leaf_counts: List[Tuple[DPTNode, int]]) -> None:
+        """Run the trigger over a batch's ``(leaf, row count)`` pairs."""
+        if self.trigger is None:
+            return
+        action = self.trigger.on_update_batch(self.dpt, leaf_counts)
         if action is TriggerAction.NONE:
             return
         if action is TriggerAction.FORCED:
@@ -430,11 +471,24 @@ class _SampleSync:
         owner.sample_index.insert(tid, row[owner._pred_idx],
                                   float(row[owner._agg_idx]))
 
+    def on_add_many(self, tids: List[int]) -> None:
+        """Bulk add: one row gather per reservoir batch operation."""
+        owner = self._owner
+        rows = owner.table.rows_for(tids).copy()
+        for tid, row in zip(tids, rows):
+            owner._sample_rows[tid] = row
+            owner.sample_index.insert(tid, row[owner._pred_idx],
+                                      float(row[owner._agg_idx]))
+
     def on_remove(self, tid: int) -> None:
         owner = self._owner
         owner._sample_rows.pop(tid, None)
         if tid in owner.sample_index:
             owner.sample_index.delete(tid)
+
+    def on_remove_many(self, tids: List[int]) -> None:
+        for tid in tids:
+            self.on_remove(tid)
 
     def on_reset(self, tids: List[int]) -> None:
         owner = self._owner

@@ -75,6 +75,17 @@ class DPTNode:
         np.minimum(self.cmin, stat_values, out=self.cmin)
         np.maximum(self.cmax, stat_values, out=self.cmax)
 
+    def add_catchup_batch(self, stat_batch: np.ndarray) -> None:
+        """Accumulate an ``(n, n_stats)`` block of catch-up samples."""
+        n = stat_batch.shape[0]
+        if n == 0:
+            return
+        self.h += n
+        self.csum += stat_batch.sum(axis=0)
+        self.csumsq += (stat_batch * stat_batch).sum(axis=0)
+        np.minimum(self.cmin, stat_batch.min(axis=0), out=self.cmin)
+        np.maximum(self.cmax, stat_batch.max(axis=0), out=self.cmax)
+
     def apply_insert(self, stat_values: np.ndarray) -> None:
         self.delta_count += 1
         self.dsum += stat_values
@@ -82,12 +93,41 @@ class DPTNode:
         for pos, mm in self.minmax.items():
             mm.insert(float(stat_values[pos]))
 
+    def apply_insert_batch(self, stat_batch: np.ndarray) -> None:
+        """Apply an ``(n, n_stats)`` block of inserted rows in one update.
+
+        The delta accumulators take one grouped numpy reduction; only the
+        MIN/MAX heaps (tracked attributes only) stay per-value, because a
+        bounded heap is inherently sequential.
+        """
+        n = stat_batch.shape[0]
+        if n == 0:
+            return
+        self.delta_count += n
+        self.dsum += stat_batch.sum(axis=0)
+        self.dsumsq += (stat_batch * stat_batch).sum(axis=0)
+        for pos, mm in self.minmax.items():
+            for v in stat_batch[:, pos]:
+                mm.insert(float(v))
+
     def apply_delete(self, stat_values: np.ndarray) -> None:
         self.delta_count -= 1
         self.dsum -= stat_values
         self.dsumsq -= stat_values * stat_values
         for pos, mm in self.minmax.items():
             mm.delete(float(stat_values[pos]))
+
+    def apply_delete_batch(self, stat_batch: np.ndarray) -> None:
+        """Apply an ``(n, n_stats)`` block of deleted rows in one update."""
+        n = stat_batch.shape[0]
+        if n == 0:
+            return
+        self.delta_count -= n
+        self.dsum -= stat_batch.sum(axis=0)
+        self.dsumsq -= (stat_batch * stat_batch).sum(axis=0)
+        for pos, mm in self.minmax.items():
+            for v in stat_batch[:, pos]:
+                mm.delete(float(v))
 
     def set_exact_base(self, count: int, sums: np.ndarray,
                        sumsqs: np.ndarray,

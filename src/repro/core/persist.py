@@ -187,7 +187,7 @@ def load_synopsis(path: str, table: Table) -> JanusAQP:
         dpt._nodes = nodes
         dpt._next_id = n
         dpt.root = root
-        dpt.leaves = [node for node in nodes if node.is_leaf]
+        dpt._index_leaves()
         dpt.n_updates = 0
         janus.dpt = dpt
 

@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence, Tuple
 
+import numpy as np
+
 
 class AggFunc(enum.Enum):
     """Aggregation functions supported by a partition-tree synopsis.
@@ -77,6 +79,31 @@ class Rectangle:
 
     def contains_point(self, point: Sequence[float]) -> bool:
         return all(a <= x <= b for a, x, b in zip(self.lo, point, self.hi))
+
+    def contains_points(self, points) -> np.ndarray:
+        """Vectorized membership test for an ``(n, d)`` coordinate batch.
+
+        Returns a boolean mask of length n; row i is True when
+        ``contains_point(points[i])`` would be.  The batch ingestion path
+        routes whole arrays through the partition tree with this test.
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        lo = np.asarray(self.lo)
+        hi = np.asarray(self.hi)
+        return np.all((pts >= lo) & (pts <= hi), axis=1)
+
+    def distances(self, points) -> np.ndarray:
+        """Vectorized L1 point-to-rectangle distance (0 inside)."""
+        pts = np.asarray(points, dtype=np.float64)
+        lo = np.asarray(self.lo)
+        hi = np.asarray(self.hi)
+        below = np.clip(lo - pts, 0.0, None)
+        above = np.clip(pts - hi, 0.0, None)
+        # inf - inf at an unbounded edge yields NaN; an unbounded side
+        # can never be violated, so its term is zero.
+        below[np.isnan(below)] = 0.0
+        above[np.isnan(above)] = 0.0
+        return below.sum(axis=1) + above.sum(axis=1)
 
     def contains_rect(self, other: "Rectangle") -> bool:
         """True when ``other`` lies entirely inside this rectangle."""

@@ -97,6 +97,29 @@ class Table:
         self._n_live -= 1
         return self._data[slot].copy()
 
+    def delete_many(self, tids: Iterable[int]) -> np.ndarray:
+        """Bulk delete by tid; returns the removed rows as ``(n, n_attrs)``.
+
+        All tids must be live; on a missing tid the whole batch is
+        rejected before any row is touched, so the table never ends up
+        half-deleted.
+        """
+        tid_list = [int(t) for t in tids]
+        slots = []
+        for tid in tid_list:
+            slot = self._slot_of.get(tid)
+            if slot is None:
+                raise KeyError(f"tid {tid} is not live")
+            slots.append(slot)
+        if len(set(slots)) != len(slots):
+            raise KeyError("duplicate tid in delete batch")
+        for tid in tid_list:
+            del self._slot_of[tid]
+        slot_arr = np.asarray(slots, dtype=np.intp)
+        self._live[slot_arr] = False
+        self._n_live -= len(tid_list)
+        return self._data[slot_arr].copy()
+
     def _grow(self) -> None:
         new_cap = int(self._data.shape[0] * self._GROWTH) + 16
         self._data = np.resize(self._data, (new_cap, len(self.schema)))

@@ -67,30 +67,46 @@ class SynopsisManager:
 
     def insert(self, values: Sequence[float]) -> int:
         """Insert into the table once, updating every template's tree."""
+        return self.insert_many(
+            np.asarray(values, dtype=np.float64)[None, :])[0]
+
+    def insert_many(self, rows: np.ndarray) -> list:
+        """Bulk insert, fanning the batch out to every template's tree."""
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2:
+            raise ValueError("rows must be a 2-D (n, n_attrs) array")
+        if rows.shape[0] == 0:
+            return []
         synopses = list(self._synopses.values())
         if not synopses:
-            return self.table.insert(values)
+            return self.table.insert_many(rows)
         first, rest = synopses[0], synopses[1:]
-        tid = first.insert(values)
-        row = self.table.row(tid)
+        tids = first.insert_many(rows)
         for s in rest:
-            leaf = s.dpt.insert_row(row) if s.dpt else None
-            s.reservoir.on_insert(tid)
-            if leaf is not None:
-                s._after_update(leaf)
-        return tid
+            leaf_of = s.dpt.insert_rows(rows) if s.dpt else None
+            s.reservoir.on_insert_many(tids)
+            if leaf_of is not None:
+                s._after_update_batch(leaf_of)
+        return tids
 
     def delete(self, tid: int) -> None:
+        self.delete_many((tid,))
+
+    def delete_many(self, tids: Sequence[int]) -> None:
+        """Bulk delete, fanning the batch out to every template's tree."""
+        tids = [int(t) for t in tids]
+        if not tids:
+            return
         synopses = list(self._synopses.values())
         if not synopses:
-            self.table.delete(tid)
+            self.table.delete_many(tids)
             return
-        row = self.table.row(tid).copy()
-        synopses[0].delete(tid)
+        rows = self.table.rows_for(tids).copy()
+        synopses[0].delete_many(tids)
         for s in synopses[1:]:
             if s.dpt is not None:
-                s.dpt.delete_row(row)
-            s.reservoir.on_delete(tid)
+                s.dpt.delete_rows(rows)
+            s.reservoir.on_delete_many(tids)
 
     def query(self, query: Query) -> QueryResult:
         """Route to the matching template, building it on first use."""

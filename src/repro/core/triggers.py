@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..partitioning.maxvar import MaxVarOracle
 from ..sampling.stratified import StrataView, min_samples_per_stratum
@@ -82,8 +82,26 @@ class RepartitionTrigger:
     def on_update(self, dpt: DynamicPartitionTree,
                   leaf: DPTNode) -> TriggerAction:
         """Called after every insert/delete routed to ``leaf``."""
-        self.state.updates_since_check += 1
-        self.state.updates_since_repartition += 1
+        return self.on_update_batch(dpt, ((leaf, 1),))
+
+    def on_update_batch(self, dpt: DynamicPartitionTree,
+                        leaf_counts: Iterable[Tuple[DPTNode, int]]
+                        ) -> TriggerAction:
+        """Account a whole update batch in one call.
+
+        ``leaf_counts`` pairs each touched leaf with the number of batch
+        rows routed to it; the ``check_every`` counters advance by the
+        batch total.  When a drift check comes due, every touched leaf
+        is examined in one consolidated check (a superset of the
+        single-leaf checks the per-row path would have run inside the
+        batch), and the counter keeps its remainder so the check cadence
+        stays one per ``check_every`` updates across batch boundaries.
+        At batch size 1 this is exactly the per-row rule.
+        """
+        leaf_counts = list(leaf_counts)
+        total = sum(count for _, count in leaf_counts)
+        self.state.updates_since_check += total
+        self.state.updates_since_repartition += total
         cfg = self.config
         if (cfg.every_n_updates is not None and
                 self.state.updates_since_repartition >= cfg.every_n_updates):
@@ -91,10 +109,12 @@ class RepartitionTrigger:
             return TriggerAction.FORCED
         if self.state.updates_since_check < cfg.check_every:
             return TriggerAction.NONE
-        self.state.updates_since_check = 0
-        if self._under_represented(leaf) or self._variance_drifted(leaf):
-            self.state.n_candidates += 1
-            return TriggerAction.CANDIDATE
+        self.state.updates_since_check %= cfg.check_every
+        for leaf, _ in leaf_counts:
+            if self._under_represented(leaf) or \
+                    self._variance_drifted(leaf):
+                self.state.n_candidates += 1
+                return TriggerAction.CANDIDATE
         return TriggerAction.NONE
 
     def _under_represented(self, leaf: DPTNode) -> bool:

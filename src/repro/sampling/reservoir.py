@@ -16,11 +16,17 @@ times.  Observers (the DPT's stratified leaf view, the partitioner's range
 index) subscribe to add/remove/reset events so every structure built over
 the pooled sample stays synchronized - the paper's "virtual partitions of
 a single global sample".
+
+Bulk streams use :meth:`DynamicReservoir.on_insert_many` /
+:meth:`DynamicReservoir.on_delete_many`: one vectorized acceptance draw
+per batch and one net membership notification to the observers; the
+per-tid methods are wrappers over the batch path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Protocol
+from typing import (Callable, Dict, Iterable, List, Optional, Protocol,
+                    Sequence)
 
 import numpy as np
 
@@ -28,7 +34,13 @@ from ..core.table import Table
 
 
 class ReservoirObserver(Protocol):
-    """Receives reservoir membership changes."""
+    """Receives reservoir membership changes.
+
+    Observers may additionally implement ``on_add_many(tids)`` /
+    ``on_remove_many(tids)``; the reservoir's bulk operations use those
+    when present (one call per batch) and fall back to the per-tid
+    callbacks otherwise.
+    """
 
     def on_add(self, tid: int) -> None: ...
 
@@ -94,20 +106,50 @@ class DynamicReservoir:
 
     def on_insert(self, tid: int) -> None:
         """Notify the reservoir that ``tid`` was inserted into the table."""
-        size = len(self._members)
-        if size < self.target_size:
-            self._add(tid)
+        self.on_insert_many((tid,))
+
+    def on_insert_many(self, tids: Sequence[int]) -> None:
+        """Notify the reservoir of a bulk insert in one call.
+
+        ``tids`` must already be live in the table (call after
+        :meth:`Table.insert_many`).  Statistically equivalent to calling
+        :meth:`on_insert` per tid in arrival order: the acceptance
+        probability of the i-th tid uses the live count as of *its*
+        insertion, reconstructed from the final table size - but the
+        whole batch takes one vectorized acceptance draw and observers
+        receive one bulk notification of the net membership change.
+        """
+        tids = [int(t) for t in tids]
+        if not tids:
             return
-        n_live = len(self.table)
-        if n_live <= 0:
-            return
-        if self._rng.random() < size / n_live:
-            victim_idx = int(self._rng.integers(size))
-            victim = self._members[victim_idx]
-            self._remove_at(victim_idx)
-            for obs in self._observers:
-                obs.on_remove(victim)
-            self._add(tid)
+        added: List[int] = []
+        removed: List[int] = []
+        # Phase 1: fill to the target deterministically.
+        n_fill = min(max(self.target_size - len(self._members), 0),
+                     len(tids))
+        for tid in tids[:n_fill]:
+            self._add_silent(tid)
+            added.append(tid)
+        rest = tids[n_fill:]
+        if rest:
+            size = len(self._members)
+            if size > 0 and len(self.table) > 0:
+                # Live count as of each remaining tid's insertion.
+                base = len(self.table) - len(rest)
+                n_live = base + 1 + np.arange(len(rest))
+                accept = self._rng.random(len(rest)) < (size / n_live)
+                n_accepted = int(accept.sum())
+                if n_accepted:
+                    victims = self._rng.integers(size, size=n_accepted)
+                    for tid, v_idx in zip(
+                            (t for t, a in zip(rest, accept) if a),
+                            victims):
+                        victim = self._members[int(v_idx)]
+                        self._remove_at(int(v_idx))
+                        removed.append(victim)
+                        self._add_silent(tid)
+                        added.append(tid)
+        self._notify_membership(added, removed)
 
     def on_delete(self, tid: int) -> None:
         """Notify the reservoir that ``tid`` was deleted from the table.
@@ -115,23 +157,69 @@ class DynamicReservoir:
         Call *after* the table delete so a triggered resample cannot
         re-draw the deleted row.
         """
-        idx = self._pos.get(tid)
-        if idx is None:
-            return
-        self._remove_at(idx)
-        for obs in self._observers:
-            obs.on_remove(tid)
-        if len(self._members) < self.min_size and \
+        self.on_delete_many((tid,))
+
+    def on_delete_many(self, tids: Sequence[int]) -> None:
+        """Notify the reservoir of a bulk delete in one call.
+
+        Sampled members are evicted with one bulk observer notification;
+        the shrink-below-``m`` resample check runs once after the whole
+        batch (the per-tid path checks after every eviction, which is
+        identical at batch size 1).
+        """
+        removed: List[int] = []
+        for tid in tids:
+            idx = self._pos.get(int(tid))
+            if idx is None:
+                continue
+            self._remove_at(idx)
+            removed.append(int(tid))
+        self._notify_membership([], removed)
+        if removed and len(self._members) < self.min_size and \
                 len(self.table) >= self.min_size:
             self.n_resamples += 1
             self.initialize()
 
     # ------------------------------------------------------------------ #
     def _add(self, tid: int) -> None:
-        self._pos[tid] = len(self._members)
-        self._members.append(tid)
+        self._add_silent(tid)
         for obs in self._observers:
             obs.on_add(tid)
+
+    def _add_silent(self, tid: int) -> None:
+        self._pos[tid] = len(self._members)
+        self._members.append(tid)
+
+    def _notify_membership(self, added: List[int],
+                           removed: List[int]) -> None:
+        """Publish the *net* membership change of a bulk operation.
+
+        A tid added and then evicted within the same batch never reaches
+        the observers, so their view always matches the final reservoir
+        state.  Removals are published before additions (matching the
+        per-event replace order); the two net sets are disjoint.
+        """
+        added_set = set(added)
+        net_removed = [t for t in removed if t not in added_set]
+        evicted = {t for t in removed if t in added_set}
+        net_added = [t for t in added if t not in evicted]
+        if not net_removed and not net_added:
+            return
+        for obs in self._observers:
+            if net_removed:
+                remove_many = getattr(obs, "on_remove_many", None)
+                if remove_many is not None:
+                    remove_many(net_removed)
+                else:
+                    for tid in net_removed:
+                        obs.on_remove(tid)
+            if net_added:
+                add_many = getattr(obs, "on_add_many", None)
+                if add_many is not None:
+                    add_many(net_added)
+                else:
+                    for tid in net_added:
+                        obs.on_add(tid)
 
     def _remove_at(self, idx: int) -> None:
         tid = self._members[idx]

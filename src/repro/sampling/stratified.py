@@ -44,6 +44,11 @@ class StrataView:
         self._strata.setdefault(key, set()).add(tid)
         self._stratum_of[tid] = key
 
+    def on_add_many(self, tids: List[int]) -> None:
+        """Bulk add: one call per reservoir batch operation."""
+        for tid in tids:
+            self.on_add(tid)
+
     def on_remove(self, tid: int) -> None:
         key = self._stratum_of.pop(tid, None)
         if key is None:
@@ -51,6 +56,11 @@ class StrataView:
         members = self._strata.get(key)
         if members is not None:
             members.discard(tid)
+
+    def on_remove_many(self, tids: List[int]) -> None:
+        """Bulk remove: one call per reservoir batch operation."""
+        for tid in tids:
+            self.on_remove(tid)
 
     def on_reset(self, tids: List[int]) -> None:
         self._strata = {}
