@@ -3,11 +3,14 @@
 from .broker import Broker, Consumer, Topic, decode_row, decode_rows, \
     encode_row, encode_rows
 from .requests import (DeleteRequest, InsertRequest, QueryRequest,
-                       decode, encode_delete, encode_insert, encode_query)
+                       QueryResponse, decode, decode_result,
+                       encode_delete, encode_insert, encode_queries,
+                       encode_query, encode_result)
 from .samplers import SequentialSampler, SingletonSampler, choose_sampler
 
 __all__ = ["Broker", "Consumer", "Topic", "decode_row", "decode_rows",
            "encode_row", "encode_rows", "SequentialSampler",
            "SingletonSampler", "choose_sampler", "DeleteRequest",
-           "InsertRequest", "QueryRequest", "decode", "encode_delete",
-           "encode_insert", "encode_query"]
+           "InsertRequest", "QueryRequest", "QueryResponse", "decode",
+           "decode_result", "encode_delete", "encode_insert",
+           "encode_queries", "encode_query", "encode_result"]

@@ -120,7 +120,14 @@ def decode_row(record: str) -> List[float]:
 def encode_rows(rows: np.ndarray) -> List[str]:
     return [encode_row(row) for row in np.asarray(rows, dtype=np.float64)]
 
-def decode_rows(records: Sequence[str]) -> np.ndarray:
+def decode_rows(records: Sequence[str],
+                n_attrs: Optional[int] = None) -> np.ndarray:
+    """Decode a record batch into one ``(n, n_attrs)`` array.
+
+    Pass ``n_attrs`` so an empty batch keeps the schema's width: a
+    ``(0, 0)``-shaped array would fail the arity checks of the routing
+    layers, while ``(0, n_attrs)`` flows through them as a no-op.
+    """
     if not records:
-        return np.empty((0, 0))
+        return np.empty((0, n_attrs if n_attrs is not None else 0))
     return np.array([decode_row(r) for r in records], dtype=np.float64)

@@ -11,6 +11,11 @@ Tuple ids are assigned server-side at insert time, so delete requests
 reference the *client key* of the insert; the stream driver keeps the
 key-to-tid mapping.  All payloads are flat strings - the same
 serialized-record discipline the samplers rely on.
+
+Answers flow back through a fourth lane: the driver publishes each
+answered query as a :class:`QueryResponse` record
+(:func:`encode_result` / :func:`decode_result`) on its results topic,
+so reads and writes ride the same event log end to end.
 """
 
 from __future__ import annotations
@@ -39,6 +44,29 @@ class DeleteRequest:
 class QueryRequest:
     query_id: int
     query: Query
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One answered query on the results topic.
+
+    Carries the full :class:`~repro.core.queries.QueryResult` envelope -
+    estimate, both variance components of Section 4.4.1, the exactness
+    flag and the frontier sizes - so consumers can reconstruct
+    confidence intervals without talking to the synopsis.
+    """
+
+    query_id: int
+    estimate: float
+    variance_catchup: float
+    variance_sample: float
+    exact: bool
+    n_covered: int
+    n_partial: int
+
+    @property
+    def variance(self) -> float:
+        return self.variance_catchup + self.variance_sample
 
 
 Request = Union[InsertRequest, DeleteRequest, QueryRequest]
@@ -74,6 +102,43 @@ def encode_query(query_id: int, query: Query) -> str:
         _NUM_SEP.join(repr(float(x)) for x in query.rect.hi),
     ]
     return _FIELD_SEP.join(parts)
+
+
+def encode_queries(start_id: int, queries: Sequence[Query]
+                   ) -> Tuple[List[str], List[int]]:
+    """Encode a query batch with consecutive query ids.
+
+    Returns ``(records, query_ids)``; the batch producer path uses this
+    with ``Topic.produce_many``, mirroring :func:`encode_inserts`.
+    """
+    ids = list(range(start_id, start_id + len(queries)))
+    records = [encode_query(qid, query)
+               for qid, query in zip(ids, queries)]
+    return records, ids
+
+
+def encode_result(query_id: int, result) -> str:
+    """Serialize a :class:`~repro.core.queries.QueryResult` answer."""
+    parts = [
+        "R", str(query_id), repr(float(result.estimate)),
+        repr(float(result.variance_catchup)),
+        repr(float(result.variance_sample)),
+        "1" if result.exact else "0",
+        str(int(result.n_covered)), str(int(result.n_partial)),
+    ]
+    return _FIELD_SEP.join(parts)
+
+
+def decode_result(record: str) -> QueryResponse:
+    """Parse one results-topic record."""
+    parts = record.split(_FIELD_SEP)
+    if parts[0] != "R":
+        raise ValueError(f"not a query response: {record!r}")
+    return QueryResponse(
+        query_id=int(parts[1]), estimate=float(parts[2]),
+        variance_catchup=float(parts[3]), variance_sample=float(parts[4]),
+        exact=parts[5] == "1", n_covered=int(parts[6]),
+        n_partial=int(parts[7]))
 
 
 def decode(record: str) -> Request:

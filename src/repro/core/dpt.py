@@ -25,12 +25,21 @@ Maintenance is vectorized: :meth:`DynamicPartitionTree.insert_rows` /
 coordinate batch to leaves with vectorized rectangle tests and apply
 grouped per-node statistics along the root-to-leaf paths; the per-row
 methods delegate to the same machinery.
+
+Query processing is batched the same way:
+:meth:`DynamicPartitionTree.query_many` computes the frontier of every
+query rectangle in one shared traversal (:meth:`~DynamicPartitionTree.
+frontier_many`) and evaluates each partial leaf's sample matrix against
+all of its queries' rectangles in one broadcasted comparison; the
+per-query :meth:`~DynamicPartitionTree.query` is a thin wrapper over the
+same path, so batched and sequential answers are identical.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterator, List, NamedTuple, Optional,
+                    Sequence, Tuple)
 
 import numpy as np
 
@@ -40,6 +49,100 @@ from .node import DPTNode
 from .queries import AggFunc, Query, QueryResult, Rectangle
 
 LeafSamplesFn = Callable[[DPTNode], np.ndarray]
+
+
+class _LeafMoments(NamedTuple):
+    """Matched-sample moments of one (partial leaf, query) pair."""
+
+    m: int        # stratum size m_i
+    count: int    # number of matched sample rows
+    s: float      # sum of matched aggregation values
+    s2: float     # sum of squares of matched aggregation values
+    vmin: float   # min of matched values (+inf when none matched)
+    vmax: float   # max of matched values (-inf when none matched)
+
+
+_NO_SAMPLES = _LeafMoments(0, 0, 0.0, 0.0, math.inf, -math.inf)
+
+# per-query moments provider for a partial leaf
+MomentsFn = Callable[[DPTNode], _LeafMoments]
+
+
+class _NodeMemo:
+    """Per-batch memo of node statistic scalars.
+
+    Queries in one batch overlap heavily on covered nodes; memoizing per
+    (node, statistic) turns the repeated estimate method calls into dict
+    hits while keeping the per-query accumulation order - and therefore
+    the float result - exactly what a solo :meth:`DynamicPartitionTree.
+    query` computes.
+    """
+
+    __slots__ = ("_tree", "_count", "_sum", "_sumsq", "_varsum",
+                 "_varbase", "_minmax")
+
+    def __init__(self, tree: "DynamicPartitionTree") -> None:
+        self._tree = tree
+        self._count: Dict[int, float] = {}
+        self._sum: Dict[Tuple[int, int], float] = {}
+        self._sumsq: Dict[Tuple[int, int], float] = {}
+        self._varsum: Dict[Tuple[int, int], float] = {}
+        self._varbase: Dict[Tuple[int, int], float] = {}
+        self._minmax: Dict[Tuple[int, int, bool],
+                           Tuple[Optional[float], bool]] = {}
+
+    def count(self, node: DPTNode) -> float:
+        v = self._count.get(node.node_id)
+        if v is None:
+            t = self._tree
+            v = node.count_estimate(t.n0, t.h_total)
+            self._count[node.node_id] = v
+        return v
+
+    def sum(self, node: DPTNode, pos: int) -> float:
+        key = (node.node_id, pos)
+        v = self._sum.get(key)
+        if v is None:
+            t = self._tree
+            v = node.sum_estimate(pos, t.n0, t.h_total)
+            self._sum[key] = v
+        return v
+
+    def sumsq(self, node: DPTNode, pos: int) -> float:
+        key = (node.node_id, pos)
+        v = self._sumsq.get(key)
+        if v is None:
+            t = self._tree
+            v = node.sumsq_estimate(pos, t.n0, t.h_total)
+            self._sumsq[key] = v
+        return v
+
+    def varsum(self, node: DPTNode, pos: int) -> float:
+        key = (node.node_id, pos)
+        v = self._varsum.get(key)
+        if v is None:
+            t = self._tree
+            v = node.catchup_var_sum(pos, t.n0, t.h_total)
+            self._varsum[key] = v
+        return v
+
+    def varbase(self, node: DPTNode, pos: int) -> float:
+        key = (node.node_id, pos)
+        v = self._varbase.get(key)
+        if v is None:
+            v = node.catchup_var_base(pos)
+            self._varbase[key] = v
+        return v
+
+    def minmax(self, node: DPTNode, pos: int, is_max: bool
+               ) -> Tuple[Optional[float], bool]:
+        key = (node.node_id, pos, is_max)
+        v = self._minmax.get(key)
+        if v is None:
+            v = node.max_estimate(pos) if is_max \
+                else node.min_estimate(pos)
+            self._minmax[key] = v
+        return v
 
 
 class DynamicPartitionTree:
@@ -126,6 +229,46 @@ class DynamicPartitionTree:
     def _index_leaves(self) -> None:
         self.leaves = [n for n in self._nodes if n.is_leaf]
         self._leaf_pos = {n.node_id: i for i, n in enumerate(self.leaves)}
+        self._index_frontier_order()
+
+    def _index_frontier_order(self) -> None:
+        """Precompute the frontier traversal as flat arrays.
+
+        ``_dfs_nodes`` lists every node in the exact order the scalar
+        :meth:`frontier` stack visits them (children expanded last-in
+        first-out), so batched classification can emit per-query node
+        lists in the identical order by walking positions ascending.
+        ``_dfs_levels`` groups child->parent links by depth for the
+        vectorized reachability propagation.  Node rects only change
+        through structure changes, which all funnel through
+        :meth:`_index_leaves`.
+        """
+        order: List[DPTNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(node.children)
+        self._dfs_nodes = order
+        pos = {n.node_id: i for i, n in enumerate(order)}
+        self._dfs_lo = np.array([n.rect.lo for n in order])
+        self._dfs_hi = np.array([n.rect.hi for n in order])
+        self._dfs_leaf = np.array([n.is_leaf for n in order], dtype=bool)
+        depth_of: Dict[int, int] = {}
+        levels: List[Tuple[List[int], List[int]]] = []
+        for i, node in enumerate(order):
+            if node.parent is None:
+                depth_of[node.node_id] = 0
+                continue
+            depth = depth_of[node.parent.node_id] + 1
+            depth_of[node.node_id] = depth
+            while len(levels) < depth:
+                levels.append(([], []))
+            levels[depth - 1][0].append(i)
+            levels[depth - 1][1].append(pos[node.parent.node_id])
+        self._dfs_levels = [(np.array(c, dtype=np.intp),
+                             np.array(p, dtype=np.intp))
+                            for c, p in levels]
 
     def subtree_leaf_count(self, node: DPTNode) -> int:
         count = 0
@@ -284,9 +427,12 @@ class DynamicPartitionTree:
                         stack.append((child, rows))
         return assignments, leaf_of
 
-    @staticmethod
-    def _as_batch(rows: np.ndarray) -> np.ndarray:
+    def _as_batch(self, rows: np.ndarray) -> np.ndarray:
         rows = np.asarray(rows, dtype=np.float64)
+        if rows.size == 0:
+            # Accept (), (0,) and (0, d): an empty batch routes nowhere,
+            # so it must not reach the (n, d) routing code mis-shaped.
+            return rows.reshape(0, len(self.schema))
         if rows.ndim != 2:
             raise ValueError("rows must be a 2-D (n, n_attrs) array")
         return rows
@@ -392,43 +538,223 @@ class DynamicPartitionTree:
                 stack.extend(node.children)
         return cover, partial
 
+    def frontier_many(self, rects: Sequence[Rectangle]
+                      ) -> Tuple[List[List[DPTNode]], List[List[DPTNode]]]:
+        """Step 1 for a whole query batch in one vectorized pass.
+
+        Every (node, query) pair is classified at once: two broadcasted
+        comparisons give the intersect/contain matrices, a level-wise
+        propagation marks which nodes each query's traversal would
+        actually reach (a node is reached iff its parent is reached,
+        intersecting and not contained), and one ``nonzero`` pass emits
+        each query's cover/partial nodes.  Positions ascend in the
+        scalar traversal's visit order (:meth:`_index_frontier_order`),
+        and a pruned DFS visits a subsequence of the unpruned one, so
+        each query's lists hold the same nodes in the same order as
+        :meth:`frontier` returns.
+        """
+        nq = len(rects)
+        lo = np.array([r.lo for r in rects], dtype=np.float64)
+        hi = np.array([r.hi for r in rects], dtype=np.float64)
+        nlo = self._dfs_lo[:, None, :]                 # (n_nodes, 1, d)
+        nhi = self._dfs_hi[:, None, :]
+        qlo = lo[None, :, :]                           # (1, nq, d)
+        qhi = hi[None, :, :]
+        inter = ((qlo <= nhi) & (nlo <= qhi)).all(axis=2)
+        contain = ((qlo <= nlo) & (nhi <= qhi)).all(axis=2)
+        descend = inter & ~contain
+        reach = np.empty(inter.shape, dtype=bool)
+        reach[0] = True
+        for child_pos, parent_pos in self._dfs_levels:
+            reach[child_pos] = reach[parent_pos] & descend[parent_pos]
+        nodes = self._dfs_nodes
+        covers: List[List[DPTNode]] = [[] for _ in range(nq)]
+        partials: List[List[DPTNode]] = [[] for _ in range(nq)]
+        qi_arr, pos_arr = np.nonzero((reach & contain).T)
+        for qi, p in zip(qi_arr.tolist(), pos_arr.tolist()):
+            covers[qi].append(nodes[p])
+        qi_arr, pos_arr = np.nonzero(
+            (reach & descend & self._dfs_leaf[:, None]).T)
+        for qi, p in zip(qi_arr.tolist(), pos_arr.tolist()):
+            partials[qi].append(nodes[p])
+        return covers, partials
+
     def query(self, query: Query, leaf_samples: LeafSamplesFn
               ) -> QueryResult:
-        """Answer an aggregate query from the synopsis alone."""
-        if query.predicate_attrs != self.predicate_attrs:
-            raise ValueError(
-                f"query predicate attrs {query.predicate_attrs} do not "
-                f"match synopsis attrs {self.predicate_attrs}")
-        cover, partial = self.frontier(query.rect)
+        """Answer an aggregate query from the synopsis alone.
+
+        Thin wrapper over :meth:`query_many`: both paths run the same
+        per-query estimation code on the same inputs, so a batch's
+        results are bit-for-bit identical to a sequential loop.
+        """
+        return self.query_many((query,), leaf_samples)[0]
+
+    def query_many(self, queries: Sequence[Query],
+                   leaf_samples: LeafSamplesFn) -> List[QueryResult]:
+        """Answer a query batch with shared tree and sample passes.
+
+        The frontier computation runs once for the whole batch
+        (:meth:`frontier_many`), each partial leaf's sample matrix is
+        tested against all of its queries' rectangles in one broadcasted
+        comparison (:meth:`_match_masks`), and only the final per-query
+        estimation - a pure function of that query's own frontier and
+        matched samples - runs per query.  Results are returned in
+        request order and match :meth:`query` exactly.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        for query in queries:
+            if query.predicate_attrs != self.predicate_attrs:
+                raise ValueError(
+                    f"query predicate attrs {query.predicate_attrs} do "
+                    f"not match synopsis attrs {self.predicate_attrs}")
+        if len(queries) == 1:
+            cover, partial = self.frontier(queries[0].rect)
+            covers, partials = [cover], [partial]
+        else:
+            covers, partials = self.frontier_many(
+                [q.rect for q in queries])
+        moments = self._leaf_moments(queries, partials, leaf_samples)
+        # Node statistics are memoized across the batch: overlapping
+        # cover sets pay one estimate computation per node.
+        memo = _NodeMemo(self)
+        results: List[QueryResult] = []
+        for qi, query in enumerate(queries):
+            def moments_of(leaf: DPTNode, qi: int = qi) -> "_LeafMoments":
+                return moments[(leaf.node_id, qi)]
+            results.append(self._answer(query, covers[qi], partials[qi],
+                                        moments_of, memo))
+        return results
+
+    def _leaf_moments(self, queries: List[Query],
+                      partials: List[List[DPTNode]],
+                      leaf_samples: LeafSamplesFn
+                      ) -> Dict[Tuple[int, int], "_LeafMoments"]:
+        """Matched-sample moments for every (partial leaf, query) pair.
+
+        The batch's partial-leaf sample matrices are concatenated into
+        one block, every query rectangle is tested against it in one
+        broadcasted comparison, and the per-leaf moments the estimators
+        need - matched count, sum, sum of squares, min and max of the
+        aggregation attribute - come out of segment reductions
+        (``reduceat``) over the leaf boundaries.  A segment reduction
+        depends only on that leaf's own rows, so every moment is
+        identical to what a single-query evaluation would produce.
+        """
+        moments: Dict[Tuple[int, int], _LeafMoments] = {}
+        leaf_seg: Dict[int, int] = {}     # leaf id -> segment (-1: empty)
+        blocks: List[np.ndarray] = []
+        pair_lid: List[int] = []
+        pair_qi: List[int] = []
+        pair_seg: List[int] = []
+        for qi, partial in enumerate(partials):
+            for leaf in partial:
+                lid = leaf.node_id
+                seg = leaf_seg.get(lid)
+                if seg is None:
+                    rows = leaf_samples(leaf)
+                    if rows.shape[0] == 0:
+                        seg = -1
+                    else:
+                        seg = len(blocks)
+                        blocks.append(rows)
+                    leaf_seg[lid] = seg
+                if seg < 0:
+                    moments[(lid, qi)] = _NO_SAMPLES
+                else:
+                    pair_lid.append(lid)
+                    pair_qi.append(qi)
+                    pair_seg.append(seg)
+        n_pairs = len(pair_qi)
+        if n_pairs == 0:
+            return moments
+        seg_sizes = np.array([b.shape[0] for b in blocks], dtype=np.intp)
+        seg_starts = np.zeros(len(blocks), dtype=np.intp)
+        np.cumsum(seg_sizes[:-1], out=seg_starts[1:])
+        pool = np.concatenate(blocks, axis=0)
+        # Ragged element layout: pair p owns a run of its leaf's m_p rows.
+        seg_arr = np.asarray(pair_seg, dtype=np.intp)
+        pair_m = seg_sizes[seg_arr]
+        bounds = np.zeros(n_pairs + 1, dtype=np.intp)
+        np.cumsum(pair_m, out=bounds[1:])
+        starts = bounds[:-1]
+        idx = (np.arange(int(bounds[-1])) - np.repeat(starts, pair_m) +
+               np.repeat(seg_starts[seg_arr], pair_m))
+        qlo = np.array([queries[qi].rect.lo for qi in pair_qi])
+        qhi = np.array([queries[qi].rect.hi for qi in pair_qi])
+        mask = np.ones(idx.shape[0], dtype=bool)
+        for dim, col in enumerate(self._pred_idx):
+            v = pool[idx, col]
+            mask &= (v >= np.repeat(qlo[:, dim], pair_m)) & \
+                    (v <= np.repeat(qhi[:, dim], pair_m))
+        cnts = np.add.reduceat(mask.astype(np.float64), starts)
+        # Aggregation values, each element using its own pair's query
+        # attribute (COUNT pairs borrow column 0; their values are never
+        # read).
+        attr_cols = np.array(
+            [0 if queries[qi].agg is AggFunc.COUNT
+             else self.schema.index(queries[qi].attr) for qi in pair_qi],
+            dtype=np.intp)
+        vals = pool[idx, np.repeat(attr_cols, pair_m)]
+        mvals = np.where(mask, vals, 0.0)
+        s = np.add.reduceat(mvals, starts)
+        s2 = np.add.reduceat(mvals * mvals, starts)
+        vmin = np.minimum.reduceat(np.where(mask, vals, math.inf), starts)
+        vmax = np.maximum.reduceat(np.where(mask, vals, -math.inf),
+                                   starts)
+        for p in range(n_pairs):
+            moments[(pair_lid[p], pair_qi[p])] = _LeafMoments(
+                int(pair_m[p]), int(cnts[p]), float(s[p]), float(s2[p]),
+                float(vmin[p]), float(vmax[p]))
+        return moments
+
+    def _answer(self, query: Query, cover: List[DPTNode],
+                partial: List[DPTNode], moments_of: "MomentsFn",
+                memo: "_NodeMemo") -> QueryResult:
         if query.agg in (AggFunc.SUM, AggFunc.COUNT):
-            return self._query_sum_count(query, cover, partial, leaf_samples)
+            return self._answer_sum_count(query, cover, partial,
+                                          moments_of, memo)
         if query.agg is AggFunc.AVG:
-            return self._query_avg(query, cover, partial, leaf_samples)
+            return self._answer_avg(query, cover, partial,
+                                    moments_of, memo)
         if query.agg in (AggFunc.VARIANCE, AggFunc.STDDEV):
-            return self._query_variance(query, cover, partial,
-                                        leaf_samples)
-        return self._query_minmax(query, cover, partial, leaf_samples)
+            return self._answer_variance(query, cover, partial,
+                                         moments_of, memo)
+        return self._answer_minmax(query, cover, partial,
+                                   moments_of, memo)
 
     # -- helpers -------------------------------------------------------- #
+    def _match_masks(self, lo: np.ndarray, hi: np.ndarray,
+                     rows: np.ndarray) -> np.ndarray:
+        """Boolean ``(n_queries, m)`` matrix of rows matching each rect.
+
+        One broadcasted comparison per predicate dimension replaces the
+        per-query mask loop; boolean tests are exact, so every mask row
+        equals the mask a single-query evaluation would produce.
+        """
+        mask = np.ones((lo.shape[0], rows.shape[0]), dtype=bool)
+        for dim, col in enumerate(self._pred_idx):
+            vals = rows[:, col]
+            mask &= (vals >= lo[:, dim, None]) & (vals <= hi[:, dim, None])
+        return mask
+
     def _matched(self, query: Query, rows: np.ndarray
                  ) -> Tuple[np.ndarray, int]:
         """(matched aggregation values, stratum size) for a partial leaf."""
         m_i = rows.shape[0]
         if m_i == 0:
             return np.empty(0), 0
-        mask = np.ones(m_i, dtype=bool)
-        for dim, col in enumerate(self._pred_idx):
-            vals = rows[:, col]
-            mask &= (vals >= query.rect.lo[dim]) & \
-                    (vals <= query.rect.hi[dim])
+        lo = np.asarray(query.rect.lo, dtype=np.float64)[None, :]
+        hi = np.asarray(query.rect.hi, dtype=np.float64)[None, :]
+        mask = self._match_masks(lo, hi, rows)[0]
         if query.agg is AggFunc.COUNT:
             return np.ones(int(mask.sum())), m_i
-        attr_col = self.schema.index(query.attr)
-        return rows[mask, attr_col], m_i
+        return rows[mask, self.schema.index(query.attr)], m_i
 
-    def _query_sum_count(self, query: Query, cover: List[DPTNode],
-                         partial: List[DPTNode],
-                         leaf_samples: LeafSamplesFn) -> QueryResult:
+    def _answer_sum_count(self, query: Query, cover: List[DPTNode],
+                          partial: List[DPTNode], moments_of: "MomentsFn",
+                          memo: "_NodeMemo") -> QueryResult:
         is_count = query.agg is AggFunc.COUNT
         pos = None if is_count else self.stat_pos(query.attr)
         agg = 0.0
@@ -436,34 +762,37 @@ class DynamicPartitionTree:
         all_exact = True
         for node in cover:
             if is_count:
-                agg += node.count_estimate(self.n0, self.h_total)
+                agg += memo.count(node)
             else:
-                agg += node.sum_estimate(pos, self.n0, self.h_total)
-                var_c += node.catchup_var_sum(pos, self.n0, self.h_total)
+                agg += memo.sum(node, pos)
+                var_c += memo.varsum(node, pos)
             all_exact = all_exact and node.exact
         samp = 0.0
         var_s = 0.0
         for leaf in partial:
-            rows = leaf_samples(leaf)
-            matched, m_i = self._matched(query, rows)
-            n_i = leaf.count_estimate(self.n0, self.h_total)
+            mom = moments_of(leaf)
+            n_i = memo.count(leaf)
             if is_count:
-                contrib = estimators.count_partial(n_i, m_i,
-                                                   matched.shape[0])
+                c = float(mom.count)
+                est, var = estimators.sum_partial_moments(n_i, mom.m, c, c)
             else:
-                contrib = estimators.sum_partial(n_i, m_i, matched)
-            samp += contrib.estimate
-            var_s += contrib.variance
+                est, var = estimators.sum_partial_moments(n_i, mom.m,
+                                                          mom.s, mom.s2)
+            samp += est
+            var_s += var
         exact = all_exact and not partial
         return QueryResult(agg + samp, var_c, var_s, exact,
                            n_covered=len(cover), n_partial=len(partial))
 
-    def _query_avg(self, query: Query, cover: List[DPTNode],
-                   partial: List[DPTNode],
-                   leaf_samples: LeafSamplesFn) -> QueryResult:
+    def _answer_avg(self, query: Query, cover: List[DPTNode],
+                    partial: List[DPTNode], moments_of: "MomentsFn",
+                    memo: "_NodeMemo") -> QueryResult:
         pos = self.stat_pos(query.attr)
-        nodes = cover + partial
-        n_q = sum(n.count_estimate(self.n0, self.h_total) for n in nodes)
+        n_q = 0.0
+        for node in cover:
+            n_q += memo.count(node)
+        for leaf in partial:
+            n_q += memo.count(leaf)
         if n_q <= 0:
             return QueryResult(math.nan, 0.0, 0.0, False,
                                n_covered=len(cover), n_partial=len(partial))
@@ -471,25 +800,24 @@ class DynamicPartitionTree:
         var_c = 0.0
         all_exact = True
         for node in cover:
-            est += node.sum_estimate(pos, self.n0, self.h_total) / n_q
-            w_i = node.count_estimate(self.n0, self.h_total) / n_q
-            var_c += node.catchup_var_avg(pos, w_i)
+            est += memo.sum(node, pos) / n_q
+            w_i = memo.count(node) / n_q
+            var_c += (w_i * w_i) * memo.varbase(node, pos)
             all_exact = all_exact and node.exact
         var_s = 0.0
         for leaf in partial:
-            rows = leaf_samples(leaf)
-            matched, m_i = self._matched(query, rows)
-            n_i = leaf.count_estimate(self.n0, self.h_total)
-            contrib = estimators.avg_partial(n_i, n_q, m_i, matched)
-            est += contrib.estimate
-            var_s += contrib.variance
+            mom = moments_of(leaf)
+            c_est, c_var = estimators.avg_partial_moments(
+                memo.count(leaf), n_q, mom.m, mom.count, mom.s, mom.s2)
+            est += c_est
+            var_s += c_var
         exact = all_exact and not partial
         return QueryResult(est, var_c, var_s, exact,
                            n_covered=len(cover), n_partial=len(partial))
 
-    def _query_variance(self, query: Query, cover: List[DPTNode],
-                        partial: List[DPTNode],
-                        leaf_samples: LeafSamplesFn) -> QueryResult:
+    def _answer_variance(self, query: Query, cover: List[DPTNode],
+                         partial: List[DPTNode], moments_of: "MomentsFn",
+                         memo: "_NodeMemo") -> QueryResult:
         """VARIANCE/STDDEV composed from COUNT, SUM and sum-of-squares.
 
         Section 6.6: "aggregate functions such as STDDEV that can be
@@ -505,21 +833,19 @@ class DynamicPartitionTree:
         sumsq_est = 0.0
         all_exact = True
         for node in cover:
-            count_est += node.count_estimate(self.n0, self.h_total)
-            sum_est += node.sum_estimate(pos, self.n0, self.h_total)
-            sumsq_est += node.sumsq_estimate(pos, self.n0, self.h_total)
+            count_est += memo.count(node)
+            sum_est += memo.sum(node, pos)
+            sumsq_est += memo.sumsq(node, pos)
             all_exact = all_exact and node.exact
         for leaf in partial:
-            rows = leaf_samples(leaf)
-            matched, m_i = self._matched(
-                query.with_agg(AggFunc.SUM, query.attr), rows)
-            if m_i <= 0:
+            mom = moments_of(leaf)
+            if mom.m <= 0:
                 continue
-            n_i = leaf.count_estimate(self.n0, self.h_total)
-            scale = n_i / m_i
-            count_est += scale * matched.shape[0]
-            sum_est += scale * float(matched.sum())
-            sumsq_est += scale * float((matched * matched).sum())
+            count, total, totalsq = estimators.moments_partial(
+                memo.count(leaf), mom.m, mom.count, mom.s, mom.s2)
+            count_est += count
+            sum_est += total
+            sumsq_est += totalsq
         if count_est <= 0:
             return QueryResult(math.nan, 0.0, 0.0, False,
                                n_covered=len(cover),
@@ -534,27 +860,30 @@ class DynamicPartitionTree:
                            n_covered=len(cover), n_partial=len(partial),
                            details={"ci": "unavailable"})
 
-    def _query_minmax(self, query: Query, cover: List[DPTNode],
-                      partial: List[DPTNode],
-                      leaf_samples: LeafSamplesFn) -> QueryResult:
+    def _answer_minmax(self, query: Query, cover: List[DPTNode],
+                       partial: List[DPTNode], moments_of: "MomentsFn",
+                       memo: "_NodeMemo") -> QueryResult:
         pos = self.stat_pos(query.attr)
         is_max = query.agg is AggFunc.MAX
         candidates: List[float] = []
         all_exact = True
         for node in cover:
-            value, exact = (node.max_estimate(pos) if is_max
-                            else node.min_estimate(pos))
-            if value is not None:
-                candidates.append(value)
-                all_exact = all_exact and exact
+            value, exact = memo.minmax(node, pos, is_max)
+            if value is None:
+                # A covered node with no extremum information at all
+                # cannot prove the answer: its true MIN/MAX is unknown,
+                # so the result must not be reported as exact.
+                all_exact = False
+                continue
+            candidates.append(value)
+            all_exact = all_exact and exact
         for leaf in partial:
-            rows = leaf_samples(leaf)
-            matched, _ = self._matched(
-                query.with_agg(AggFunc.SUM, query.attr), rows)
-            if matched.shape[0]:
-                candidates.append(float(matched.max() if is_max
-                                        else matched.min()))
+            mom = moments_of(leaf)
+            if mom.count > 0:
+                candidates.append(mom.vmax if is_max else mom.vmin)
         if not candidates:
+            # Every candidate source was missing: no estimate exists,
+            # and the answer is certainly not exact.
             return QueryResult(math.nan, 0.0, 0.0, False,
                                n_covered=len(cover), n_partial=len(partial))
         est = max(candidates) if is_max else min(candidates)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +36,22 @@ class PartialContribution:
     n_matched: int
 
 
+def sum_partial_moments(n_i: float, m_i: int, s: float, s2: float
+                        ) -> Tuple[float, float]:
+    """SUM ``(estimate, variance)`` from matched sample moments.
+
+    ``s``/``s2`` are the matched values' sum and sum of squares; the
+    scalar-moment form lets the batched query path feed moments computed
+    by one broadcasted pass per leaf without materializing per-query
+    matched arrays.
+    """
+    if m_i <= 0:
+        return 0.0, 0.0
+    est = (n_i / m_i) * s
+    var = (n_i * n_i) / (m_i ** 3) * max(0.0, m_i * s2 - s * s)
+    return est, var
+
+
 def sum_partial(n_i: float, m_i: int, matched_values: np.ndarray
                 ) -> PartialContribution:
     """SUM contribution of a partial leaf (COUNT: pass ones)."""
@@ -43,8 +59,7 @@ def sum_partial(n_i: float, m_i: int, matched_values: np.ndarray
         return PartialContribution(0.0, 0.0, 0)
     s = float(matched_values.sum())
     s2 = float((matched_values * matched_values).sum())
-    est = (n_i / m_i) * s
-    var = (n_i * n_i) / (m_i ** 3) * max(0.0, m_i * s2 - s * s)
+    est, var = sum_partial_moments(n_i, m_i, s, s2)
     return PartialContribution(est, var, int(matched_values.shape[0]))
 
 
@@ -59,6 +74,18 @@ def count_partial(n_i: float, m_i: int, n_matched: int
     return PartialContribution(est, var, n_matched)
 
 
+def avg_partial_moments(n_i: float, n_q: float, m_i: int, n_matched: int,
+                        s: float, s2: float) -> Tuple[float, float]:
+    """AVG ``(estimate, variance)`` from matched sample moments."""
+    if m_i <= 0 or n_matched == 0 or n_q <= 0:
+        return 0.0, 0.0
+    w = n_i / n_q
+    est = (n_i / (n_matched * n_q)) * s
+    var = (w * w) / (m_i * n_matched * n_matched) * \
+        max(0.0, m_i * s2 - s * s)
+    return est, var
+
+
 def avg_partial(n_i: float, n_q: float, m_i: int,
                 matched_values: np.ndarray) -> PartialContribution:
     """AVG contribution of a partial leaf (weight ``w_i = n_i / n_q``)."""
@@ -67,11 +94,22 @@ def avg_partial(n_i: float, n_q: float, m_i: int,
         return PartialContribution(0.0, 0.0, n_matched)
     s = float(matched_values.sum())
     s2 = float((matched_values * matched_values).sum())
-    w = n_i / n_q
-    est = (n_i / (n_matched * n_q)) * s
-    var = (w * w) / (m_i * n_matched * n_matched) * \
-        max(0.0, m_i * s2 - s * s)
+    est, var = avg_partial_moments(n_i, n_q, m_i, n_matched, s, s2)
     return PartialContribution(est, var, n_matched)
+
+
+def moments_partial(n_i: float, m_i: int, n_matched: int, s: float,
+                    s2: float) -> Tuple[float, float, float]:
+    """Scaled ``(count, sum, sum of squares)`` of one partial leaf.
+
+    The plug-in moments that compose VARIANCE/STDDEV (Section 6.6): the
+    matched sample moments scaled by ``n_i / m_i`` estimate the leaf's
+    contribution to the query region's population moments.
+    """
+    if m_i <= 0:
+        return 0.0, 0.0, 0.0
+    scale = n_i / m_i
+    return scale * n_matched, scale * s, scale * s2
 
 
 def avg_covered_estimate(n_i: float, n_q: float, h_i: int,

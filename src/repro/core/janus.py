@@ -23,6 +23,13 @@ Ingestion is batched end to end: :meth:`JanusAQP.insert_many` /
 :meth:`JanusAQP.delete_many` apply a whole row block under one lock with
 one vectorized pass per layer, and the per-row :meth:`JanusAQP.insert` /
 :meth:`JanusAQP.delete` are thin wrappers over the same path.
+
+Queries are batched the same way: :meth:`JanusAQP.query_many` answers a
+whole batch under one lock with a shared frontier traversal and one
+broadcasted predicate evaluation per partial leaf, reading each leaf's
+samples from a contiguous matrix cache (:class:`_LeafSampleCache`) that
+is maintained incrementally as the pool churns; :meth:`JanusAQP.query`
+is a thin wrapper over the same path with identical results.
 """
 
 from __future__ import annotations
@@ -115,6 +122,129 @@ class ReoptReport:
                 self.catchup.total_seconds)
 
 
+class _LeafSampleCache:
+    """Per-leaf contiguous sample matrices for the batched query path.
+
+    One ``(m_i, n_schema)`` float64 block per leaf stratum, maintained
+    incrementally by :class:`_SampleSync`: appends amortize via capacity
+    doubling and removals swap the last row into the hole, so pool churn
+    costs O(1) row copies - instead of the per-query ``np.stack`` over a
+    Python dict the query path used to pay for every partial leaf.
+    """
+
+    def __init__(self, n_cols: int) -> None:
+        self._n_cols = n_cols
+        self._mat: Dict[int, np.ndarray] = {}       # leaf id -> block
+        self._size: Dict[int, int] = {}             # leaf id -> live rows
+        self._tid_at: Dict[int, List[int]] = {}     # leaf id -> row -> tid
+        self._where: Dict[int, Tuple[int, int]] = {}  # tid -> (leaf, row)
+        self._empty = np.empty((0, n_cols))
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._where
+
+    def clear(self) -> None:
+        self._mat.clear()
+        self._size.clear()
+        self._tid_at.clear()
+        self._where.clear()
+
+    def matrix(self, leaf_id: int) -> np.ndarray:
+        """The leaf's live sample rows as one contiguous view."""
+        mat = self._mat.get(leaf_id)
+        if mat is None:
+            return self._empty
+        return mat[:self._size[leaf_id]]
+
+    def size(self, leaf_id: int) -> int:
+        return self._size.get(leaf_id, 0)
+
+    def tids(self, leaf_id: int) -> List[int]:
+        return list(self._tid_at.get(leaf_id, ()))
+
+    def _ensure(self, leaf_id: int, extra: int) -> Tuple[np.ndarray, int]:
+        mat = self._mat.get(leaf_id)
+        size = self._size.get(leaf_id, 0)
+        need = size + extra
+        if mat is None:
+            self._mat[leaf_id] = np.empty((max(4, 2 * need), self._n_cols))
+            self._size[leaf_id] = 0
+            self._tid_at[leaf_id] = []
+        elif need > mat.shape[0]:
+            grown = np.empty((max(2 * mat.shape[0], need), self._n_cols))
+            grown[:size] = mat[:size]
+            self._mat[leaf_id] = grown
+        return self._mat[leaf_id], size
+
+    def add(self, leaf_id: int, tid: int, row: np.ndarray) -> None:
+        mat, size = self._ensure(leaf_id, 1)
+        mat[size] = row
+        self._tid_at[leaf_id].append(tid)
+        self._where[tid] = (leaf_id, size)
+        self._size[leaf_id] = size + 1
+
+    def add_block(self, leaf_id: int, tids: Sequence[int],
+                  rows: np.ndarray) -> None:
+        """Append a whole ``(n, n_schema)`` block to one leaf."""
+        n = len(tids)
+        if n == 0:
+            return
+        mat, size = self._ensure(leaf_id, n)
+        mat[size:size + n] = rows
+        tid_at = self._tid_at[leaf_id]
+        for offset, tid in enumerate(tids):
+            self._where[tid] = (leaf_id, size + offset)
+            tid_at.append(tid)
+        self._size[leaf_id] = size + n
+
+    def remove(self, tid: int) -> None:
+        loc = self._where.pop(tid, None)
+        if loc is None:
+            return
+        leaf_id, row = loc
+        last = self._size[leaf_id] - 1
+        mat = self._mat[leaf_id]
+        tid_at = self._tid_at[leaf_id]
+        if row != last:
+            mat[row] = mat[last]
+            moved = tid_at[last]
+            tid_at[row] = moved
+            self._where[moved] = (leaf_id, row)
+        tid_at.pop()
+        self._size[leaf_id] = last
+
+    def remove_many(self, tids: Sequence[int]) -> None:
+        """Bulk removal: one compaction pass per touched leaf.
+
+        Large evictions (reservoir resamples, bulk deletes) compact each
+        leaf's block with a single boolean-mask copy instead of per-tid
+        swap rounds.
+        """
+        by_leaf: Dict[int, List[int]] = {}
+        for tid in tids:
+            loc = self._where.get(int(tid))
+            if loc is not None:
+                by_leaf.setdefault(loc[0], []).append(int(tid))
+        for leaf_id, gone in by_leaf.items():
+            if len(gone) < 8:
+                for tid in gone:
+                    self.remove(tid)
+                continue
+            size = self._size[leaf_id]
+            dead = np.zeros(size, dtype=bool)
+            for tid in gone:
+                dead[self._where.pop(tid)[1]] = True
+            keep = np.flatnonzero(~dead)
+            mat = self._mat[leaf_id]
+            mat[:keep.size] = mat[keep]
+            tid_at = self._tid_at[leaf_id]
+            kept = [tid_at[i] for i in keep]
+            for row, tid in enumerate(kept):
+                self._where[tid] = (leaf_id, row)
+            self._tid_at[leaf_id] = kept
+            self._size[leaf_id] = int(keep.size)
+
+
 class JanusAQP:
     """A dynamic AQP synopsis over one query template."""
 
@@ -141,6 +271,7 @@ class JanusAQP:
         self._sample_rows: Dict[int, np.ndarray] = {}
         self.sample_index = RangeIndex(len(self.predicate_attrs),
                                        seed=self.config.seed + 2)
+        self._leaf_cache = _LeafSampleCache(len(table.schema))
         self.reservoir.subscribe(_SampleSync(self))
 
         self.dpt: Optional[DynamicPartitionTree] = None
@@ -319,6 +450,33 @@ class JanusAQP:
             every_n_updates=self.config.repartition_every)
         self.trigger = RepartitionTrigger(trig_cfg, oracle, self.strata)
         self.trigger.rebase(self.dpt)
+        self._rebuild_leaf_cache()
+
+    def _rebuild_leaf_cache(self) -> None:
+        """Re-derive the per-leaf sample matrices from the current pool.
+
+        Called whenever tid-to-leaf routing changes wholesale (tree
+        install, partial re-partition, pool resample); steady-state pool
+        churn maintains the cache incrementally via :class:`_SampleSync`.
+        """
+        self._leaf_cache.clear()
+        if self.dpt is None or not self._sample_rows:
+            return
+        tids = list(self._sample_rows)
+        self._cache_routed_rows(
+            tids, np.stack([self._sample_rows[t] for t in tids]))
+
+    def _cache_routed_rows(self, tids: Sequence[int],
+                           rows: np.ndarray) -> None:
+        """Route a row block to leaves and append it to the cache."""
+        if self.dpt is None:
+            return
+        _, leaf_of = self.dpt._route_batch(rows[:, self._pred_idx])
+        leaves = self.dpt.leaves
+        for pos in np.unique(leaf_of):
+            sel = np.flatnonzero(leaf_of == pos)
+            self._leaf_cache.add_block(leaves[int(pos)].node_id,
+                                       [tids[i] for i in sel], rows[sel])
 
     def _route_tid(self, tid: int) -> Optional[int]:
         row = self._sample_rows.get(tid)
@@ -343,10 +501,10 @@ class JanusAQP:
         n updates.  Returns the assigned tids in row order.
         """
         rows = np.asarray(rows, dtype=np.float64)
+        if rows.size == 0:
+            return []   # accept (), (0,) and (0, d) empty batches
         if rows.ndim != 2:
             raise ValueError("rows must be a 2-D (n, n_attrs) array")
-        if rows.shape[0] == 0:
-            return []
         with self._lock:
             tids = self.table.insert_many(rows)
             leaf_of = self.dpt.insert_rows(rows) if self.dpt else None
@@ -429,16 +587,28 @@ class JanusAQP:
     # ------------------------------------------------------------------ #
     def query(self, query: Query) -> QueryResult:
         """Answer from the synopsis only (zero base-table access)."""
+        return self.query_many((query,))[0]
+
+    def query_many(self, queries: Sequence[Query]) -> List[QueryResult]:
+        """Answer a query batch under one lock with shared passes.
+
+        The batch shares one frontier traversal and one broadcasted
+        predicate evaluation per partial leaf (see
+        :meth:`~repro.core.dpt.DynamicPartitionTree.query_many`); the
+        per-query estimation is a pure function of each query's own
+        inputs, so results are identical to a sequential
+        :meth:`query` loop, in request order.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
         with self._lock:
             if self.dpt is None:
                 raise RuntimeError("synopsis not initialized")
-            return self.dpt.query(query, self._leaf_samples)
+            return self.dpt.query_many(queries, self._leaf_samples)
 
     def _leaf_samples(self, leaf: DPTNode) -> np.ndarray:
-        tids = self.strata.stratum(leaf.node_id) if self.strata else ()
-        if not tids:
-            return np.empty((0, len(self.table.schema)))
-        return np.stack([self._sample_rows[t] for t in tids])
+        return self._leaf_cache.matrix(leaf.node_id)
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -459,7 +629,8 @@ class JanusAQP:
 
 
 class _SampleSync:
-    """Keeps synopsis-resident sample rows and the range index in step."""
+    """Keeps synopsis-resident sample rows, the range index and the
+    per-leaf sample-matrix cache in step with reservoir membership."""
 
     def __init__(self, owner: JanusAQP) -> None:
         self._owner = owner
@@ -470,33 +641,50 @@ class _SampleSync:
         owner._sample_rows[tid] = row
         owner.sample_index.insert(tid, row[owner._pred_idx],
                                   float(row[owner._agg_idx]))
+        leaf_id = owner._route_tid(tid)
+        if leaf_id is not None:
+            owner._leaf_cache.add(leaf_id, tid, row)
 
-    def on_add_many(self, tids: List[int]) -> None:
-        """Bulk add: one row gather per reservoir batch operation."""
+    def _ingest_rows(self, tids: List[int]) -> np.ndarray:
+        """Gather rows once and insert them into dict + range index."""
         owner = self._owner
         rows = owner.table.rows_for(tids).copy()
         for tid, row in zip(tids, rows):
             owner._sample_rows[tid] = row
             owner.sample_index.insert(tid, row[owner._pred_idx],
                                       float(row[owner._agg_idx]))
+        return rows
+
+    def on_add_many(self, tids: List[int]) -> None:
+        """Bulk add: one row gather and one routed pass per batch."""
+        rows = self._ingest_rows(tids)
+        if tids:
+            self._owner._cache_routed_rows(tids, rows)
 
     def on_remove(self, tid: int) -> None:
         owner = self._owner
         owner._sample_rows.pop(tid, None)
-        if tid in owner.sample_index:
-            owner.sample_index.delete(tid)
+        owner.sample_index.delete(tid)
+        owner._leaf_cache.remove(tid)
 
     def on_remove_many(self, tids: List[int]) -> None:
+        """Bulk removal: one index rebuild check and one cache
+        compaction per batch instead of per-tid round-trips."""
+        owner = self._owner
         for tid in tids:
-            self.on_remove(tid)
+            owner._sample_rows.pop(tid, None)
+        owner.sample_index.delete_many(tids)
+        owner._leaf_cache.remove_many(tids)
 
     def on_reset(self, tids: List[int]) -> None:
         owner = self._owner
         owner._sample_rows = {}
         owner.sample_index = RangeIndex(len(owner.predicate_attrs),
                                         seed=owner.config.seed + 2)
-        for tid in tids:
-            self.on_add(tid)
+        rows = self._ingest_rows(tids)
+        owner._leaf_cache.clear()
+        if tids:
+            owner._cache_routed_rows(tids, rows)
         # Oracles hold a reference to the old index: refresh them.
         if owner.trigger is not None:
             owner.trigger.oracle.index = owner.sample_index

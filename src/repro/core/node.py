@@ -186,14 +186,22 @@ class DPTNode:
         val = self.h * s2 - s * s
         return max(0.0, (n_hat * n_hat) / (self.h ** 3) * val)
 
-    def catchup_var_avg(self, pos: int, w_i: float) -> float:
-        """Appendix C: nu_c term for an AVG query given weight w_i."""
+    def catchup_var_base(self, pos: int) -> float:
+        """Weight-free part of the AVG nu_c term (Appendix C).
+
+        ``catchup_var_avg == w_i^2 * catchup_var_base``; factoring the
+        query-specific weight out makes the per-node remainder cacheable
+        across a query batch.
+        """
         if self.exact or self.h <= 0:
             return 0.0
         s = float(self.csum[pos])
         s2 = float(self.csumsq[pos])
-        val = self.h * s2 - s * s
-        return max(0.0, (w_i * w_i) / (self.h ** 3) * val)
+        return max(0.0, (self.h * s2 - s * s) / (self.h ** 3))
+
+    def catchup_var_avg(self, pos: int, w_i: float) -> float:
+        """Appendix C: nu_c term for an AVG query given weight w_i."""
+        return (w_i * w_i) * self.catchup_var_base(pos)
 
     def catchup_mean_sum(self, pos: int) -> float:
         """Sum of catch-up sample values (for AVG contributions)."""

@@ -96,6 +96,7 @@ def partial_repartition(janus, leaf: DPTNode, psi: int = 2
             stack.extend(node.children)
     if janus.strata is not None:
         janus.strata.reroute(janus._route_tid)
+    janus._rebuild_leaf_cache()
     if janus.trigger is not None:
         janus.trigger.rebase(dpt)
     return PartialRepartitionReport(u.node_id, l_u, n_seed,

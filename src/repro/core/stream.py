@@ -13,9 +13,13 @@ paper specifies.
 Data topics are applied in bulk: each polled batch is decoded into one
 row block and pushed through :meth:`JanusAQP.insert_many` /
 :meth:`JanusAQP.delete_many`, so a poll of n records costs one lock
-round-trip instead of n.  :class:`StreamClient` offers matching bulk
-producers (:meth:`StreamClient.insert_many` /
-:meth:`StreamClient.delete_many`).
+round-trip instead of n.  The query topic drains the same way: each
+polled batch is answered through :meth:`JanusAQP.query_many` (one lock,
+one shared frontier pass) and published to the ``results`` topic as
+:class:`~repro.broker.requests.QueryResponse` records in one bulk
+produce.  :class:`StreamClient` offers matching bulk producers
+(:meth:`StreamClient.insert_many` / :meth:`StreamClient.delete_many` /
+:meth:`StreamClient.execute_many`).
 """
 
 from __future__ import annotations
@@ -28,9 +32,10 @@ import numpy as np
 from ..broker.broker import Broker, Consumer
 from ..broker.requests import (DeleteRequest, InsertRequest, QueryRequest,
                                decode, encode_delete, encode_insert,
-                               encode_inserts, encode_query)
+                               encode_inserts, encode_queries,
+                               encode_query, encode_result)
 from .janus import JanusAQP
-from .queries import QueryResult
+from .queries import Query, QueryResult
 
 
 @dataclass
@@ -77,6 +82,13 @@ class StreamClient:
         self._broker.topic(Broker.EXECUTE).produce(
             encode_query(query_id, query))
         return query_id
+
+    def execute_many(self, queries: List[Query]) -> List[int]:
+        """Produce one query record per query; returns the query ids."""
+        records, ids = encode_queries(self._next_query, list(queries))
+        self._next_query += len(ids)
+        self._broker.topic(Broker.EXECUTE).produce_many(records)
+        return ids
 
 
 class StreamDriver:
@@ -177,8 +189,56 @@ class StreamDriver:
         self.stats.n_deletes += len(pending)
 
     def _drain_queries(self, batch_size: int) -> None:
+        # Each polled batch is decoded into one query block and answered
+        # through the batched engine: one lock round-trip, one shared
+        # frontier pass, one bulk publish to the results topic.
+        pending: List[QueryRequest] = []
         for record in self._query_consumer.poll(batch_size):
+            try:
+                request = decode(record)
+            except (ValueError, IndexError):
+                request = None
+            if isinstance(request, QueryRequest):
+                pending.append(request)
+                continue
+            # Undecodable or off-kind record: flush so arrival order is
+            # preserved, then fall back to the per-record path.
+            self._flush_queries(pending)
+            pending = []
             self._apply(record)
+        self._flush_queries(pending)
+
+    def _flush_queries(self, pending: List[QueryRequest]) -> None:
+        if not pending:
+            return
+        try:
+            results = self.janus.query_many(
+                [request.query for request in pending])
+        except ValueError:
+            # A malformed query (e.g. template mismatch) poisons the
+            # batch: re-run per query so every other co-batched request
+            # is still answered, and count the bad ones - the records
+            # are already consumed, so raising would drop the rest.
+            for request in pending:
+                try:
+                    result = self.janus.query(request.query)
+                except ValueError:
+                    self.stats.n_bad_requests += 1
+                    continue
+                self._publish(request.query_id, result)
+            return
+        records = [encode_result(request.query_id, result)
+                   for request, result in zip(pending, results)]
+        self.broker.topic(self.RESULTS).produce_many(records)
+        for request, result in zip(pending, results):
+            self.results[request.query_id] = result
+        self.stats.n_queries += len(pending)
+
+    def _publish(self, query_id: int, result: QueryResult) -> None:
+        self.results[query_id] = result
+        self.broker.topic(self.RESULTS).produce(
+            encode_result(query_id, result))
+        self.stats.n_queries += 1
 
     # ------------------------------------------------------------------ #
     def _apply(self, record: str) -> None:
@@ -199,9 +259,5 @@ class StreamDriver:
             self.janus.delete(tid)
             self.stats.n_deletes += 1
         else:
-            result = self.janus.query(request.query)
-            self.results[request.query_id] = result
-            self.broker.topic(self.RESULTS).produce(
-                f"{request.query_id}|{result.estimate!r}"
-                f"|{result.variance!r}")
-            self.stats.n_queries += 1
+            self._publish(request.query_id,
+                          self.janus.query(request.query))

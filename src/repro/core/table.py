@@ -71,6 +71,8 @@ class Table:
     def insert_many(self, rows: np.ndarray) -> List[int]:
         """Bulk insert a 2-D array; returns the assigned tids."""
         rows = np.asarray(rows, dtype=np.float64)
+        if rows.size == 0:
+            return []   # accept (), (0,) and (0, d) empty batches
         if rows.ndim != 2 or rows.shape[1] != len(self.schema):
             raise ValueError("rows must be (n, n_attrs)")
         n = rows.shape[0]
@@ -105,6 +107,8 @@ class Table:
         half-deleted.
         """
         tid_list = [int(t) for t in tids]
+        if not tid_list:
+            return np.empty((0, len(self.schema)))
         slots = []
         for tid in tid_list:
             slot = self._slot_of.get(tid)

@@ -73,10 +73,10 @@ class SynopsisManager:
     def insert_many(self, rows: np.ndarray) -> list:
         """Bulk insert, fanning the batch out to every template's tree."""
         rows = np.asarray(rows, dtype=np.float64)
+        if rows.size == 0:
+            return []   # accept (), (0,) and (0, d) empty batches
         if rows.ndim != 2:
             raise ValueError("rows must be a 2-D (n, n_attrs) array")
-        if rows.shape[0] == 0:
-            return []
         synopses = list(self._synopses.values())
         if not synopses:
             return self.table.insert_many(rows)
@@ -116,6 +116,31 @@ class SynopsisManager:
             synopsis = self.add_template(query.attr, query.predicate_attrs)
         return synopsis.query(query)
 
+    def query_many(self, queries: Sequence[Query]) -> list:
+        """Answer a mixed-template batch, one shared pass per template.
+
+        Queries are grouped by template key, each group is answered
+        through its synopsis's batched path (sharing the frontier
+        traversal and leaf predicate evaluation within the group), and
+        results come back in request order.  Unseen templates are built
+        on first use, exactly like :meth:`query`.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        groups: Dict[TemplateKey, list] = {}
+        for i, query in enumerate(queries):
+            groups.setdefault(template_key(query), []).append(i)
+        results: list = [None] * len(queries)
+        for key, indices in groups.items():
+            synopsis = self._synopses.get(key)
+            if synopsis is None:
+                synopsis = self.add_template(key[0], key[1])
+            answers = synopsis.query_many([queries[i] for i in indices])
+            for i, answer in zip(indices, answers):
+                results[i] = answer
+        return results
+
 
 class HeuristicRouter:
     """Method 2: one tree answers every template it can, with fallbacks."""
@@ -139,6 +164,32 @@ class HeuristicRouter:
         if tree_ok:
             return self.synopsis.query(query)
         return self._uniform_fallback(query)
+
+    def query_many(self, queries: Sequence[Query]) -> list:
+        """Batched routing: tree-capable queries share one batch pass,
+        fallback queries answer individually, order is preserved."""
+        queries = list(queries)
+        if not queries:
+            return []
+        tree_attrs = (self.synopsis.dpt.stat_attrs
+                      if self.synopsis.dpt else ())
+        results: list = [None] * len(queries)
+        tree_idx = []
+        for i, query in enumerate(queries):
+            tree_ok = (query.predicate_attrs ==
+                       self.synopsis.predicate_attrs and
+                       (query.agg is AggFunc.COUNT or
+                        query.attr in tree_attrs))
+            if tree_ok:
+                tree_idx.append(i)
+            else:
+                results[i] = self._uniform_fallback(query)
+        if tree_idx:
+            answers = self.synopsis.query_many(
+                [queries[i] for i in tree_idx])
+            for i, answer in zip(tree_idx, answers):
+                results[i] = answer
+        return results
 
     def _uniform_fallback(self, query: Query) -> QueryResult:
         owner = self.synopsis

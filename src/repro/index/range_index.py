@@ -161,6 +161,27 @@ class RangeIndex:
         self._maybe_rebuild()
         return True
 
+    def delete_many(self, tids) -> int:
+        """Bulk delete; returns how many tids were actually indexed.
+
+        Tombstones all members first and runs the amortized-rebuild
+        check once per batch, so a large eviction sweep cannot trigger
+        (and pay for) several intermediate rebuilds.
+        """
+        removed = 0
+        for tid in tids:
+            idx = self._idx_of.pop(int(tid), None)
+            if idx is None:
+                continue
+            self._alive[idx] = False
+            self._n_live -= 1
+            self._n_dead += 1
+            self._remove_from_tree(idx)
+            removed += 1
+        if removed:
+            self._maybe_rebuild()
+        return removed
+
     def get(self, tid: int) -> Tuple[np.ndarray, float]:
         idx = self._idx_of[tid]
         return np.asarray(self._coords[idx]), self._values[idx]

@@ -7,8 +7,10 @@ import pytest
 
 from repro.broker.broker import Broker
 from repro.broker.requests import (DeleteRequest, InsertRequest,
-                                   QueryRequest, decode, encode_delete,
-                                   encode_insert, encode_query)
+                                   QueryRequest, QueryResponse, decode,
+                                   decode_result, encode_delete,
+                                   encode_insert, encode_query,
+                                   encode_result)
 from repro.core.janus import JanusAQP, JanusConfig
 from repro.core.queries import AggFunc, Query, Rectangle
 from repro.core.stream import StreamClient, StreamDriver
@@ -103,10 +105,17 @@ class TestStreamDriver:
         driver.drain()
         results_topic = broker.topic(StreamDriver.RESULTS)
         assert len(results_topic) == 1
-        record = results_topic.poll(0, 1)[0]
-        qid, est, var = record.split("|")
-        assert float(est) == pytest.approx(
-            driver.results[0].estimate)
+        response = decode_result(results_topic.poll(0, 1)[0])
+        result = driver.results[0]
+        assert response.query_id == 0
+        assert response.estimate == pytest.approx(result.estimate)
+        assert response.variance_catchup == pytest.approx(
+            result.variance_catchup)
+        assert response.variance_sample == pytest.approx(
+            result.variance_sample)
+        assert response.exact == result.exact
+        assert response.n_covered == result.n_covered
+        assert response.n_partial == result.n_partial
 
     def test_bad_requests_counted(self, world):
         broker, janus, table, ds = world
