@@ -79,13 +79,13 @@ class CatchupRunner:
         for start in range(0, order.size, batch_size):
             chunk = order[start:start + batch_size]
             t0 = time.perf_counter()
-            live = [int(t) for t in chunk if int(t) in table]
+            live = chunk[table.live_mask(chunk)]
             rows = table.rows_for(live)
             report.loading_seconds += time.perf_counter() - t0
             t1 = time.perf_counter()
             self.dpt.add_catchup_rows(rows)
             report.processing_seconds += time.perf_counter() - t1
-            report.n_processed += len(live)
+            report.n_processed += int(live.size)
             if on_batch is not None:
                 on_batch(report.n_processed)
         return report
@@ -127,7 +127,17 @@ def seed_from_reservoir(dpt: DynamicPartitionTree,
     Populates approximate node statistics from the pooled reservoir
     sample - "the only blocking step in the re-initialization routine".
     Returns the number of rows seeded.
+
+    The main path hands the pool over as one ``(n, n_attrs)`` matrix
+    (a single vectorized table gather), which flows straight into the
+    batched catch-up routing; re-wrapping and stacking per-row arrays
+    is kept only for iterable callers.
     """
+    if isinstance(rows, np.ndarray):
+        if rows.shape[0] == 0:
+            return 0
+        dpt.add_catchup_rows(np.asarray(rows, dtype=np.float64))
+        return int(rows.shape[0])
     block = [np.asarray(row, dtype=np.float64) for row in rows]
     if not block:
         return 0

@@ -300,6 +300,53 @@ class DynamicPartitionTree:
                            key=lambda c: _rect_distance(c.rect, coords))
             node.add_catchup(stats)
 
+    def add_catchup_rows_subtree(self, subtree_root: DPTNode,
+                                 rows: np.ndarray) -> None:
+        """Vectorized subtree catch-up: one grouped pass per node.
+
+        The batched counterpart of :meth:`add_catchup_row_subtree`, used
+        by partial re-partitioning to seed a fresh subtree from all the
+        pooled samples in its region at once.  Child selection matches
+        the scalar path (first containing child, else nearest by L1
+        rectangle distance with first-minimum tie-breaking); the subtree
+        root itself keeps its statistics, exactly as in the scalar
+        routine.
+        """
+        rows = self._as_batch(rows)
+        n = rows.shape[0]
+        if n == 0:
+            return
+        stats = rows[:, self._stat_idx]
+        coords = rows[:, self._pred_idx]
+        stack: List[Tuple[DPTNode, np.ndarray]] = \
+            [(subtree_root, np.arange(n))]
+        while stack:
+            node, idx = stack.pop()
+            if node is not subtree_root:
+                node.add_catchup_batch(stats[idx])
+            if node.is_leaf:
+                continue
+            unassigned = np.ones(idx.size, dtype=bool)
+            for child in node.children:
+                if not unassigned.any():
+                    break
+                sub = idx[unassigned]
+                inside = child.rect.contains_points(coords[sub])
+                if inside.any():
+                    stack.append((child, sub[inside]))
+                    where = np.flatnonzero(unassigned)
+                    unassigned[where[inside]] = False
+            if unassigned.any():
+                # numeric edge case: snap leftovers to the nearest child
+                sub = idx[unassigned]
+                dists = np.stack([child.rect.distances(coords[sub])
+                                  for child in node.children])
+                choice = np.argmin(dists, axis=0)
+                for ci, child in enumerate(node.children):
+                    sel = sub[choice == ci]
+                    if sel.size:
+                        stack.append((child, sel))
+
     def _inflate_edges(self) -> None:
         """Extend boundary partitions to infinity so every future tuple
         routes to a leaf (new data may fall outside the build-time domain).

@@ -130,24 +130,37 @@ class _LeafSampleCache:
     doubling and removals swap the last row into the hole, so pool churn
     costs O(1) row copies - instead of the per-query ``np.stack`` over a
     Python dict the query path used to pay for every partial leaf.
+
+    Bookkeeping is array-native throughout: per-leaf row-to-tid maps are
+    int64 arrays grown alongside the matrices, and the reverse tid
+    location map is a pair of tid-indexed arrays (tids are dense table
+    ids), so bulk compaction after an eviction sweep is pure fancy
+    indexing - no per-row dict churn.
     """
 
     def __init__(self, n_cols: int) -> None:
         self._n_cols = n_cols
         self._mat: Dict[int, np.ndarray] = {}       # leaf id -> block
         self._size: Dict[int, int] = {}             # leaf id -> live rows
-        self._tid_at: Dict[int, List[int]] = {}     # leaf id -> row -> tid
-        self._where: Dict[int, Tuple[int, int]] = {}  # tid -> (leaf, row)
+        self._tid_at: Dict[int, np.ndarray] = {}    # leaf id -> row -> tid
+        self._loc_leaf = np.full(64, -1, dtype=np.int64)  # tid -> leaf id
+        self._loc_row = np.zeros(64, dtype=np.int64)      # tid -> row
         self._empty = np.empty((0, n_cols))
 
     def __contains__(self, tid: int) -> bool:
-        return tid in self._where
+        t = int(tid)
+        return 0 <= t < self._loc_leaf.shape[0] and self._loc_leaf[t] >= 0
 
     def clear(self) -> None:
         self._mat.clear()
         self._size.clear()
         self._tid_at.clear()
-        self._where.clear()
+        # Fresh small location arrays instead of a fill(-1) memset:
+        # capacity tracks the highest tid ever cached, so on a
+        # long-running stream the memset would scale with total inserts
+        # while a reset pays one reallocation on the next add.
+        self._loc_leaf = np.full(64, -1, dtype=np.int64)
+        self._loc_row = np.zeros(64, dtype=np.int64)
 
     def matrix(self, leaf_id: int) -> np.ndarray:
         """The leaf's live sample rows as one contiguous view."""
@@ -160,88 +173,116 @@ class _LeafSampleCache:
         return self._size.get(leaf_id, 0)
 
     def tids(self, leaf_id: int) -> List[int]:
-        return list(self._tid_at.get(leaf_id, ()))
+        tid_at = self._tid_at.get(leaf_id)
+        if tid_at is None:
+            return []
+        return tid_at[:self._size[leaf_id]].tolist()
 
     def _ensure(self, leaf_id: int, extra: int) -> Tuple[np.ndarray, int]:
         mat = self._mat.get(leaf_id)
         size = self._size.get(leaf_id, 0)
         need = size + extra
         if mat is None:
-            self._mat[leaf_id] = np.empty((max(4, 2 * need), self._n_cols))
+            cap = max(4, 2 * need)
+            self._mat[leaf_id] = np.empty((cap, self._n_cols))
+            self._tid_at[leaf_id] = np.empty(cap, dtype=np.int64)
             self._size[leaf_id] = 0
-            self._tid_at[leaf_id] = []
         elif need > mat.shape[0]:
-            grown = np.empty((max(2 * mat.shape[0], need), self._n_cols))
+            cap = max(2 * mat.shape[0], need)
+            grown = np.empty((cap, self._n_cols))
             grown[:size] = mat[:size]
             self._mat[leaf_id] = grown
+            tids_grown = np.empty(cap, dtype=np.int64)
+            tids_grown[:size] = self._tid_at[leaf_id][:size]
+            self._tid_at[leaf_id] = tids_grown
         return self._mat[leaf_id], size
+
+    def _ensure_tid(self, max_tid: int) -> None:
+        cap = self._loc_leaf.shape[0]
+        if max_tid < cap:
+            return
+        new_cap = max(max_tid + 1, 2 * cap)
+        loc_leaf = np.full(new_cap, -1, dtype=np.int64)
+        loc_leaf[:cap] = self._loc_leaf
+        loc_row = np.zeros(new_cap, dtype=np.int64)
+        loc_row[:cap] = self._loc_row
+        self._loc_leaf, self._loc_row = loc_leaf, loc_row
 
     def add(self, leaf_id: int, tid: int, row: np.ndarray) -> None:
         mat, size = self._ensure(leaf_id, 1)
         mat[size] = row
-        self._tid_at[leaf_id].append(tid)
-        self._where[tid] = (leaf_id, size)
+        self._tid_at[leaf_id][size] = tid
+        self._ensure_tid(int(tid))
+        self._loc_leaf[tid] = leaf_id
+        self._loc_row[tid] = size
         self._size[leaf_id] = size + 1
 
     def add_block(self, leaf_id: int, tids: Sequence[int],
                   rows: np.ndarray) -> None:
         """Append a whole ``(n, n_schema)`` block to one leaf."""
-        n = len(tids)
+        tid_arr = np.asarray(tids, dtype=np.int64)
+        n = tid_arr.shape[0]
         if n == 0:
             return
         mat, size = self._ensure(leaf_id, n)
         mat[size:size + n] = rows
-        tid_at = self._tid_at[leaf_id]
-        for offset, tid in enumerate(tids):
-            self._where[tid] = (leaf_id, size + offset)
-            tid_at.append(tid)
+        self._tid_at[leaf_id][size:size + n] = tid_arr
+        self._ensure_tid(int(tid_arr.max()))
+        self._loc_leaf[tid_arr] = leaf_id
+        self._loc_row[tid_arr] = np.arange(size, size + n, dtype=np.int64)
         self._size[leaf_id] = size + n
 
     def remove(self, tid: int) -> None:
-        loc = self._where.pop(tid, None)
-        if loc is None:
+        if tid not in self:
             return
-        leaf_id, row = loc
+        leaf_id = int(self._loc_leaf[tid])
+        row = int(self._loc_row[tid])
+        self._loc_leaf[tid] = -1
         last = self._size[leaf_id] - 1
         mat = self._mat[leaf_id]
         tid_at = self._tid_at[leaf_id]
         if row != last:
             mat[row] = mat[last]
-            moved = tid_at[last]
+            moved = int(tid_at[last])
             tid_at[row] = moved
-            self._where[moved] = (leaf_id, row)
-        tid_at.pop()
+            self._loc_row[moved] = row
         self._size[leaf_id] = last
 
     def remove_many(self, tids: Sequence[int]) -> None:
         """Bulk removal: one compaction pass per touched leaf.
 
         Large evictions (reservoir resamples, bulk deletes) compact each
-        leaf's block with a single boolean-mask copy instead of per-tid
-        swap rounds.
+        leaf's block and its row-to-tid map with single boolean-mask
+        copies, then restore the reverse map with one vectorized
+        ``_loc_row`` assignment over the surviving tids.
         """
-        by_leaf: Dict[int, List[int]] = {}
-        for tid in tids:
-            loc = self._where.get(int(tid))
-            if loc is not None:
-                by_leaf.setdefault(loc[0], []).append(int(tid))
-        for leaf_id, gone in by_leaf.items():
-            if len(gone) < 8:
-                for tid in gone:
+        tid_arr = np.asarray(tids if isinstance(tids, np.ndarray)
+                             else list(tids), dtype=np.int64)
+        if tid_arr.size == 0:
+            return
+        tid_arr = tid_arr[(tid_arr >= 0) &
+                          (tid_arr < self._loc_leaf.shape[0])]
+        leaves = self._loc_leaf[tid_arr]
+        present = leaves >= 0
+        tid_arr, leaves = tid_arr[present], leaves[present]
+        for leaf in np.unique(leaves):
+            leaf_id = int(leaf)
+            gone = tid_arr[leaves == leaf]
+            if gone.size < 8:
+                for tid in gone.tolist():
                     self.remove(tid)
                 continue
             size = self._size[leaf_id]
             dead = np.zeros(size, dtype=bool)
-            for tid in gone:
-                dead[self._where.pop(tid)[1]] = True
+            dead[self._loc_row[gone]] = True
+            self._loc_leaf[gone] = -1
             keep = np.flatnonzero(~dead)
             mat = self._mat[leaf_id]
             mat[:keep.size] = mat[keep]
             tid_at = self._tid_at[leaf_id]
-            kept = [tid_at[i] for i in keep]
-            for row, tid in enumerate(kept):
-                self._where[tid] = (leaf_id, row)
-            self._tid_at[leaf_id] = kept
+            kept = tid_at[keep]
+            tid_at[:keep.size] = kept
+            self._loc_row[kept] = np.arange(keep.size, dtype=np.int64)
             self._size[leaf_id] = int(keep.size)
 
 
@@ -311,12 +352,12 @@ class JanusAQP:
         for catch-up completion.
         """
         with self._lock:
-            coords, values, _ = self.sample_index.all_items()
+            coords, values, tids = self.sample_index.all_items()
             n_pop = max(len(self.table), 1)
             domains = [self.table.domain(a) for a in self.predicate_attrs]
 
         def work() -> None:
-            spec = self._partition_snapshot(coords, values, n_pop,
+            spec = self._partition_snapshot(coords, values, tids, n_pop,
                                             domains)
             with self._lock:                     # phase 2: blocking swap
                 self._install(spec)
@@ -335,9 +376,8 @@ class JanusAQP:
             for start in range(0, order.size, batch_size):
                 chunk = order[start:start + batch_size]
                 with self._lock:                 # phase 5, interleaved
-                    live = [int(t) for t in chunk
-                            if int(t) in self.table]
-                    if live:
+                    live = chunk[self.table.live_mask(chunk)]
+                    if live.size:
                         self.dpt.add_catchup_rows(self.table.rows_for(live))
             with self._lock:
                 if self.trigger is not None:
@@ -349,25 +389,37 @@ class JanusAQP:
         return thread
 
     def _partition_snapshot(self, coords: np.ndarray, values: np.ndarray,
-                            n_pop: int, domains) -> PartitionNode:
-        """Partition a frozen copy of the pool (runs without the lock)."""
+                            tids: np.ndarray, n_pop: int,
+                            domains) -> PartitionNode:
+        """Partition a frozen copy of the pool (runs without the lock).
+
+        For SUM/COUNT focus the k-d partitioner runs straight off the
+        flat snapshot arrays - no throwaway geometric index at all.
+        AVG needs one for the oracle's canonical-cell candidates; it is
+        built with a single bulk ``add_many`` (vectorized wholesale
+        rebuild) instead of n incremental tree descents.  Real pool
+        tids keep the partitioner's canonical ordering identical to
+        the synchronous path.
+        """
         if coords.shape[0] == 0:
             raise RuntimeError("cannot partition: empty sample pool")
         if len(self.predicate_attrs) == 1:
+            order = np.argsort(tids, kind="stable")
             return OneDimPartitioner(
                 self.config.focus_agg, delta=self.config.delta).partition(
-                    coords[:, 0], values, self.config.k,
+                    coords[order, 0], values[order], self.config.k,
                     n_population=n_pop, domain=domains[0]).tree
-        snapshot_index = RangeIndex(len(self.predicate_attrs),
-                                    seed=self.config.seed + 3)
-        for i in range(coords.shape[0]):
-            snapshot_index.insert(i, coords[i], float(values[i]))
+        snapshot_index = None
+        if self.config.focus_agg is AggFunc.AVG:
+            snapshot_index = RangeIndex(len(self.predicate_attrs),
+                                        seed=self.config.seed + 3)
+            snapshot_index.add_many(tids, coords, values)
         lo = tuple(d[0] for d in domains)
         hi = tuple(d[1] for d in domains)
         return KDTreePartitioner(
-            self.config.focus_agg, delta=self.config.delta).partition(
-                snapshot_index, self.config.k, n_population=n_pop,
-                root_rect=Rectangle(lo, hi)).tree
+            self.config.focus_agg, delta=self.config.delta).partition_rows(
+                coords, values, tids, self.config.k, n_population=n_pop,
+                root_rect=Rectangle(lo, hi), index=snapshot_index).tree
 
     def _reinitialize(self, catchup_goal: Optional[int]) -> ReoptReport:
         report = ReoptReport()
@@ -402,13 +454,17 @@ class JanusAQP:
         n = max(len(self.table), 1)
         m = max(len(self.sample_index), 1)
         if d == 1:
-            coords, values, _ = self.sample_index.all_items()
+            coords, values, tids = self.sample_index.all_items()
             if coords.shape[0] == 0:
                 raise RuntimeError("cannot partition: empty sample pool")
             domain = self.table.domain(self.predicate_attrs[0])
+            # Canonical tid order: with duplicate keys the stable
+            # by-key argsort would otherwise tie-break by pool storage
+            # order, an implementation detail.
+            order = np.argsort(tids, kind="stable")
             result = OneDimPartitioner(
                 self.config.focus_agg, delta=self.config.delta).partition(
-                    coords[:, 0], values, self.config.k,
+                    coords[order, 0], values[order], self.config.k,
                     n_population=n, domain=domain)
             return result.tree
         lo = tuple(self.table.domain(a)[0] for a in self.predicate_attrs)
@@ -426,8 +482,13 @@ class JanusAQP:
             stat_attrs=self.stat_attrs, minmax_attrs=(self.agg_attr,),
             minmax_k=self.config.minmax_k)
         dpt.set_population(len(self.table))
-        seed_from_reservoir(dpt, (self._sample_rows[t]
-                                  for t in self.reservoir.tids()))
+        # One vectorized gather for the whole pool: reservoir members
+        # are live table rows and synopsis-resident copies are verbatim,
+        # so the matrix equals stacking self._sample_rows row by row.
+        pool_tids = np.asarray(self.reservoir.tids(), dtype=np.int64)
+        seed_from_reservoir(dpt, self.table.rows_for(pool_tids)
+                            if pool_tids.size else
+                            np.empty((0, len(self.table.schema))))
         self.dpt = dpt
         self._install_support_structures()
 
@@ -462,9 +523,9 @@ class JanusAQP:
         self._leaf_cache.clear()
         if self.dpt is None or not self._sample_rows:
             return
-        tids = list(self._sample_rows)
-        self._cache_routed_rows(
-            tids, np.stack([self._sample_rows[t] for t in tids]))
+        tids = np.fromiter(self._sample_rows.keys(), dtype=np.int64,
+                           count=len(self._sample_rows))
+        self._cache_routed_rows(tids, self.table.rows_for(tids))
 
     def _cache_routed_rows(self, tids: Sequence[int],
                            rows: np.ndarray) -> None:
@@ -473,10 +534,11 @@ class JanusAQP:
             return
         _, leaf_of = self.dpt._route_batch(rows[:, self._pred_idx])
         leaves = self.dpt.leaves
+        tid_arr = np.asarray(tids, dtype=np.int64)
         for pos in np.unique(leaf_of):
             sel = np.flatnonzero(leaf_of == pos)
             self._leaf_cache.add_block(leaves[int(pos)].node_id,
-                                       [tids[i] for i in sel], rows[sel])
+                                       tid_arr[sel], rows[sel])
 
     def _route_tid(self, tid: int) -> Optional[int]:
         row = self._sample_rows.get(tid)
@@ -646,13 +708,21 @@ class _SampleSync:
             owner._leaf_cache.add(leaf_id, tid, row)
 
     def _ingest_rows(self, tids: List[int]) -> np.ndarray:
-        """Gather rows once and insert them into dict + range index."""
+        """Gather rows once and bulk-insert them into dict + range index.
+
+        The index takes the whole block through ``add_many`` - one
+        duplicate check, one array append and one rebuild decision; a
+        reservoir reset (re-initialization phase 4) therefore rebuilds
+        the pool index with the vectorized builder instead of n
+        incremental tree descents.
+        """
         owner = self._owner
         rows = owner.table.rows_for(tids).copy()
+        if len(tids):
+            owner.sample_index.add_many(tids, rows[:, owner._pred_idx],
+                                        rows[:, owner._agg_idx])
         for tid, row in zip(tids, rows):
             owner._sample_rows[tid] = row
-            owner.sample_index.insert(tid, row[owner._pred_idx],
-                                      float(row[owner._agg_idx]))
         return rows
 
     def on_add_many(self, tids: List[int]) -> None:

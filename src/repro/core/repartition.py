@@ -77,13 +77,14 @@ def partial_repartition(janus, leaf: DPTNode, psi: int = 2
     else:
         h_equiv = 0.0
     dpt.replace_subtree(u, spec)
-    # Seed the fresh subtree from the pooled samples in its region.
-    coords, _, tids = janus.sample_index.report(u.rect)
+    # Seed the fresh subtree from the pooled samples in its region: one
+    # vectorized region report, one table gather, one batched subtree
+    # routing pass (pool members are live rows, and the synopsis-resident
+    # copies are verbatim, so the gather equals the per-tid dict reads).
+    _, _, tids = janus.sample_index.report(u.rect)
     n_seed = int(tids.shape[0])
-    for tid in tids:
-        row = janus._sample_rows.get(int(tid))
-        if row is not None:
-            dpt.add_catchup_row_subtree(u, row)
+    if n_seed:
+        dpt.add_catchup_rows_subtree(u, janus.table.rows_for(tids))
     # Rescale so the children's combined weight matches the ancestor.
     if n_seed > 0 and h_equiv > 0:
         factor = h_equiv / n_seed
@@ -139,15 +140,16 @@ def _subtree_leaves(node: DPTNode):
 def _partition_region(janus, rect: Rectangle, k: int) -> PartitionNode:
     """Run the system's partitioner restricted to one region."""
     d = len(janus.predicate_attrs)
-    coords, values, _ = janus.sample_index.report(rect)
+    coords, values, tids = janus.sample_index.report(rect)
     if coords.shape[0] == 0:
         return PartitionNode(rect)
     if d == 1:
         lo = rect.lo[0]
         hi = rect.hi[0]
+        order = np.argsort(tids, kind="stable")   # canonical tid order
         result = OneDimPartitioner(
             janus.config.focus_agg, delta=janus.config.delta).partition(
-                coords[:, 0], values, k,
+                coords[order, 0], values[order], k,
                 n_population=max(len(janus.table), 1),
                 domain=(lo, hi))
         return result.tree

@@ -77,8 +77,13 @@ class SharedPoolSynopses:
         self._rows = {}
         self.sample_index = RangeIndex(len(self.schema),
                                        seed=self.config.seed + 2)
-        for tid in tids:
-            self.on_add(tid)
+        if not tids:
+            return
+        rows = self.table.rows_for(tids).copy()
+        for tid, row in zip(tids, rows):
+            self._rows[tid] = row
+        self.sample_index.add_many(tids, rows,
+                                   np.zeros(len(tids), dtype=np.float64))
 
     # ------------------------------------------------------------------ #
     # templates
@@ -126,8 +131,8 @@ class SharedPoolSynopses:
                     self.config.k, n_population=n, domain=domain).tree
         temp = RangeIndex(len(predicate_attrs),
                           seed=self.config.seed + 4)
-        for i in range(rows.shape[0]):
-            temp.insert(i, rows[i, pred_idx], float(rows[i, agg_idx]))
+        temp.add_many(np.arange(rows.shape[0]), rows[:, pred_idx],
+                      rows[:, agg_idx])
         lo = tuple(self.table.domain(a)[0] for a in predicate_attrs)
         hi = tuple(self.table.domain(a)[1] for a in predicate_attrs)
         return KDTreePartitioner(

@@ -117,8 +117,8 @@ def build_spt(data: np.ndarray, schema: Sequence[str], agg_attr: str,
     d = len(predicate_attrs)
     if partitioner == "kd" or d > 1:
         index = RangeIndex(d, seed=seed)
-        for i in range(sample.shape[0]):
-            index.insert(i, sample[i, pred_idx], sample[i, agg_idx])
+        index.add_many(np.arange(sample.shape[0]), sample[:, pred_idx],
+                       sample[:, agg_idx])
         lo = tuple(float(x) for x in data[:, pred_idx].min(axis=0))
         hi = tuple(float(x) for x in data[:, pred_idx].max(axis=0))
         from .queries import Rectangle

@@ -31,6 +31,11 @@ class Table:
     Rows are addressed by a stable tuple id (``tid``) assigned at insert
     time; the same tid is used by reservoirs, partition-tree samples and
     delete requests so every structure refers to one canonical identity.
+
+    Tids are dense (assigned 0, 1, 2, ...), so the tid-to-slot map is a
+    plain int64 array (-1 = not live) instead of a dict: ``rows_for``
+    and ``live_mask`` become single vectorized gathers, which is what
+    the catch-up and re-initialization pipelines lean on.
     """
 
     _GROWTH = 1.6
@@ -43,7 +48,7 @@ class Table:
         self._data = np.empty((max(capacity, 16), len(schema)), dtype=np.float64)
         self._live = np.zeros(self._data.shape[0], dtype=bool)
         self._tids = np.full(self._data.shape[0], -1, dtype=np.int64)
-        self._slot_of: Dict[int, int] = {}
+        self._tid_slot = np.full(self._data.shape[0], -1, dtype=np.int64)
         self._n_slots = 0
         self._n_live = 0
         self._next_tid = 0
@@ -62,7 +67,8 @@ class Table:
         self._live[slot] = True
         tid = self._next_tid
         self._tids[slot] = tid
-        self._slot_of[tid] = slot
+        self._ensure_tid_capacity(tid + 1)
+        self._tid_slot[tid] = slot
         self._n_slots += 1
         self._n_live += 1
         self._next_tid += 1
@@ -83,8 +89,9 @@ class Table:
         self._live[lo:hi] = True
         tids = list(range(self._next_tid, self._next_tid + n))
         self._tids[lo:hi] = tids
-        for offset, tid in enumerate(tids):
-            self._slot_of[tid] = lo + offset
+        self._ensure_tid_capacity(self._next_tid + n)
+        self._tid_slot[self._next_tid:self._next_tid + n] = \
+            np.arange(lo, hi, dtype=np.int64)
         self._n_slots = hi
         self._n_live += n
         self._next_tid += n
@@ -92,9 +99,8 @@ class Table:
 
     def delete(self, tid: int) -> np.ndarray:
         """Delete a live row by tid; returns the removed row's values."""
-        slot = self._slot_of.pop(tid, None)
-        if slot is None:
-            raise KeyError(f"tid {tid} is not live")
+        slot = self._slot_for(tid)
+        self._tid_slot[tid] = -1
         self._live[slot] = False
         self._n_live -= 1
         return self._data[slot].copy()
@@ -106,22 +112,22 @@ class Table:
         rejected before any row is touched, so the table never ends up
         half-deleted.
         """
-        tid_list = [int(t) for t in tids]
-        if not tid_list:
+        tid_arr = np.asarray(tids if isinstance(tids, np.ndarray)
+                             else [int(t) for t in tids], dtype=np.int64)
+        if tid_arr.size == 0:
             return np.empty((0, len(self.schema)))
-        slots = []
-        for tid in tid_list:
-            slot = self._slot_of.get(tid)
-            if slot is None:
-                raise KeyError(f"tid {tid} is not live")
-            slots.append(slot)
-        if len(set(slots)) != len(slots):
+        bad = (tid_arr < 0) | (tid_arr >= self._tid_slot.shape[0])
+        if not bad.any():
+            slot_arr = self._tid_slot[tid_arr]
+            bad = slot_arr < 0
+        if bad.any():
+            raise KeyError(
+                f"tid {int(tid_arr[np.argmax(bad)])} is not live")
+        if np.unique(tid_arr).size != tid_arr.size:
             raise KeyError("duplicate tid in delete batch")
-        for tid in tid_list:
-            del self._slot_of[tid]
-        slot_arr = np.asarray(slots, dtype=np.intp)
+        self._tid_slot[tid_arr] = -1
         self._live[slot_arr] = False
-        self._n_live -= len(tid_list)
+        self._n_live -= tid_arr.size
         return self._data[slot_arr].copy()
 
     def _grow(self) -> None:
@@ -131,6 +137,22 @@ class Table:
         self._live[self._n_slots:] = False
         self._tids = np.resize(self._tids, new_cap)
         self._tids[self._n_slots:] = -1
+
+    def _ensure_tid_capacity(self, need: int) -> None:
+        cap = self._tid_slot.shape[0]
+        if need <= cap:
+            return
+        grown = np.full(max(need, 2 * cap), -1, dtype=np.int64)
+        grown[:cap] = self._tid_slot
+        self._tid_slot = grown
+
+    def _slot_for(self, tid: int) -> int:
+        t = int(tid)
+        if 0 <= t < self._tid_slot.shape[0]:
+            slot = self._tid_slot[t]
+            if slot >= 0:
+                return int(slot)
+        raise KeyError(f"tid {tid} is not live")
 
     # ------------------------------------------------------------------ #
     # access
@@ -143,13 +165,12 @@ class Table:
         return self._n_live
 
     def __contains__(self, tid: int) -> bool:
-        return tid in self._slot_of
+        t = int(tid)
+        return (0 <= t < self._tid_slot.shape[0] and
+                self._tid_slot[t] >= 0)
 
     def row(self, tid: int) -> np.ndarray:
-        slot = self._slot_of.get(tid)
-        if slot is None:
-            raise KeyError(f"tid {tid} is not live")
-        return self._data[slot]
+        return self._data[self._slot_for(tid)]
 
     def value(self, tid: int, attr: str) -> float:
         return float(self.row(tid)[self._col_of[attr]])
@@ -191,8 +212,35 @@ class Table:
         return rng.choice(live, size=k_eff, replace=replace)
 
     def rows_for(self, tids: Iterable[int]) -> np.ndarray:
-        slots = [self._slot_of[t] for t in tids]
+        """Gather rows for live tids as one vectorized ``(n, n_attrs)``.
+
+        Raises ``KeyError`` when any tid is not live, matching the old
+        dict-lookup contract.
+        """
+        tid_arr = np.asarray(tids if isinstance(tids, np.ndarray)
+                             else list(tids), dtype=np.int64)
+        if tid_arr.size == 0:
+            return np.empty((0, len(self.schema)))
+        bad = (tid_arr < 0) | (tid_arr >= self._tid_slot.shape[0])
+        if not bad.any():
+            slots = self._tid_slot[tid_arr]
+            bad = slots < 0
+        if bad.any():
+            raise KeyError(int(tid_arr[np.argmax(bad)]))
         return self._data[slots]
+
+    def live_mask(self, tids) -> np.ndarray:
+        """Vectorized liveness test: ``mask[i] == (tids[i] in self)``.
+
+        The catch-up pipeline uses this to drop snapshot tids deleted
+        since the epoch with one gather instead of a per-element
+        membership loop.
+        """
+        tid_arr = np.asarray(tids, dtype=np.int64)
+        out = np.zeros(tid_arr.shape, dtype=bool)
+        ok = (tid_arr >= 0) & (tid_arr < self._tid_slot.shape[0])
+        out[ok] = self._tid_slot[tid_arr[ok]] >= 0
+        return out
 
     # ------------------------------------------------------------------ #
     # ground truth (benchmark harness only - not used by synopses)

@@ -3,7 +3,8 @@
 from .treap import Treap
 from .layered_range_tree import LayeredRangeTree
 from .range_index import RangeIndex
+from .reference import PyRangeIndex
 from .topk import MinMaxStats, TopK
 
-__all__ = ["Treap", "RangeIndex", "LayeredRangeTree", "MinMaxStats",
-           "TopK"]
+__all__ = ["Treap", "RangeIndex", "PyRangeIndex", "LayeredRangeTree",
+           "MinMaxStats", "TopK"]

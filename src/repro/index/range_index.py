@@ -1,30 +1,46 @@
-"""Dynamic multi-dimensional range index with node aggregates.
+"""Dynamic multi-dimensional range index over contiguous numpy arrays.
 
 This is the geometric substrate behind the max-variance oracle and the
 k-d partitioner (paper Sections 5.3 and D.1).  The paper's theory uses
-multi-level dynamic range trees; we implement the same *interface* with a
-k-d tree whose nodes carry ``(count, sum_a, sum_a2)`` aggregates over live
-points, tombstone deletion, and amortized full rebuilds to keep the tree
-balanced (classic static-to-dynamic transformation in spirit [5, 34]).
+multi-level dynamic range trees; we implement the same *interface* with
+an array-backed store plus a k-d skeleton:
+
+* **Columnar sample pool** - all points live in one contiguous
+  ``(n, dim)`` float64 coordinate matrix with parallel value / tid
+  vectors and a liveness mask.  ``range_stats`` / ``count`` / ``report``
+  / ``all_items`` are single vectorized mask-and-gather passes over
+  these arrays: on the pool sizes the re-initialization pipeline sees
+  (tens of thousands of samples), one fused numpy scan beats a pruned
+  Python-recursion tree walk by well over an order of magnitude, and it
+  returns ``report`` results as array slices instead of materializing
+  Python tuples per point.
+* **k-d skeleton** - the same incremental k-d tree as the pure-Python
+  reference implementation (:class:`~repro.index.reference.
+  PyRangeIndex`), with ``(count, sum_a, sum_a2)`` aggregates and tight
+  bounding boxes per node.  It is kept because ``small_cells`` - the
+  analogue of the paper's weighted-rectangle structure T for the AVG
+  oracle - needs canonical tree cells; its per-node split and rebuild
+  decisions are byte-for-byte the reference's, so both implementations
+  grow identical trees from identical update sequences.
 
 All higher layers use only:
 
 * ``insert(tid, coords, value)`` / ``delete(tid)``
-* ``range_stats(rect)``  - (count, sum, sum of squares) with node pruning
+* ``add_many(tids, coords, values)`` / ``delete_many(tids)`` - bulk
+  variants with one amortized-rebuild check per batch; batches that are
+  large relative to the pool skip per-point tree walks entirely and
+  rebuild the skeleton wholesale with the vectorized builder
+* ``range_stats(rect)``  - (count, sum, sum of squares), vectorized
 * ``report(rect)``       - materialize points in a rectangle
-* ``small_cells(rect, max_count)`` - canonical cells fully inside ``rect``
-  holding at most ``max_count`` live points, the analogue of the paper's
-  weighted-rectangle structure T for the AVG oracle
+* ``small_cells(rect, max_count)`` - canonical cells fully inside
+  ``rect`` holding at most ``max_count`` live points
 * ``coordinate_quantile(rect, dim, k)`` - k-th order statistic along one
   dimension among points in ``rect`` (median splits)
 
-Implementation notes: points are stored as plain float tuples and all
-inner-loop geometry uses inline comparisons - the index sits on every
-update and trigger path, so per-point ``Rectangle`` object churn would
-dominate the system's runtime.  Each node keeps a tight bounding box of
-the points routed through it (grow-on-insert, recomputed on rebuild);
-deletions leave the box a conservative superset, which keeps pruning and
-containment checks correct.
+Rebuilds (amortized static-to-dynamic compaction [5, 34]) are fully
+vectorized: dead-slot compaction is one boolean gather, and node
+statistics / bounding boxes come from ``np.sum`` / ``min`` / ``max``
+reductions over index blocks instead of per-point Python loops.
 """
 
 from __future__ import annotations
@@ -39,6 +55,10 @@ from ..core.queries import Rectangle
 _LEAF_SIZE = 16
 _REBUILD_DEAD_FRACTION = 0.30
 _REBUILD_GROWTH_FACTOR = 2.0
+# Bulk mutations covering at least this fraction of the live pool skip
+# per-point tree walks and rebuild the skeleton wholesale (vectorized).
+_BULK_REBUILD_FRACTION = 0.25
+_MIN_BULK_REBUILD = 64
 
 # bbox-vs-query relations
 _DISJOINT, _PARTIAL, _CONTAINED = 0, 1, 2
@@ -67,25 +87,17 @@ class _KDNode:
     def is_leaf(self) -> bool:
         return self.indices is not None
 
-    def grow_bbox(self, point: Tuple[float, ...]) -> None:
+    def grow_bbox(self, point: Sequence[float]) -> None:
         lo, hi = self.bbox_lo, self.bbox_hi
         if lo is None:
-            self.bbox_lo = list(point)
-            self.bbox_hi = list(point)
+            self.bbox_lo = [float(x) for x in point]
+            self.bbox_hi = [float(x) for x in point]
             return
         for d, x in enumerate(point):
             if x < lo[d]:
                 lo[d] = x
             elif x > hi[d]:
                 hi[d] = x
-
-    def set_bbox(self, points: Sequence[Tuple[float, ...]]) -> None:
-        if not points:
-            self.bbox_lo = self.bbox_hi = None
-            return
-        dim = len(points[0])
-        self.bbox_lo = [min(p[d] for p in points) for d in range(dim)]
-        self.bbox_hi = [max(p[d] for p in points) for d in range(dim)]
 
     def relation(self, qlo: Tuple[float, ...],
                  qhi: Tuple[float, ...]) -> int:
@@ -117,10 +129,12 @@ class RangeIndex:
         self.dim = dim
         self.leaf_size = leaf_size
         self._rng = np.random.default_rng(seed)
-        self._coords: List[Tuple[float, ...]] = []
-        self._values: List[float] = []
-        self._tids: List[int] = []
-        self._alive: List[bool] = []
+        cap = 64
+        self._coords = np.empty((cap, dim), dtype=np.float64)
+        self._values = np.empty(cap, dtype=np.float64)
+        self._tids = np.empty(cap, dtype=np.int64)
+        self._alive = np.zeros(cap, dtype=bool)
+        self._n_slots = 0
         self._idx_of: Dict[int, int] = {}
         self._n_live = 0
         self._n_dead = 0
@@ -134,24 +148,99 @@ class RangeIndex:
     def __contains__(self, tid: int) -> bool:
         return tid in self._idx_of
 
+    def _ensure_capacity(self, extra: int) -> None:
+        need = self._n_slots + extra
+        cap = self._coords.shape[0]
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap)
+        coords = np.empty((new_cap, self.dim), dtype=np.float64)
+        coords[:self._n_slots] = self._coords[:self._n_slots]
+        values = np.empty(new_cap, dtype=np.float64)
+        values[:self._n_slots] = self._values[:self._n_slots]
+        tids = np.empty(new_cap, dtype=np.int64)
+        tids[:self._n_slots] = self._tids[:self._n_slots]
+        alive = np.zeros(new_cap, dtype=bool)
+        alive[:self._n_slots] = self._alive[:self._n_slots]
+        self._coords, self._values = coords, values
+        self._tids, self._alive = tids, alive
+
     def insert(self, tid: int, coords: Sequence[float], value: float) -> None:
+        tid = int(tid)
         if tid in self._idx_of:
             raise KeyError(f"tid {tid} already indexed")
-        point = tuple(float(c) for c in coords)
-        if len(point) != self.dim:
+        point = np.asarray(coords, dtype=np.float64).reshape(-1)
+        if point.shape[0] != self.dim:
             raise ValueError("coords arity mismatch")
-        idx = len(self._coords)
-        self._coords.append(point)
-        self._values.append(float(value))
-        self._tids.append(tid)
-        self._alive.append(True)
+        self._ensure_capacity(1)
+        idx = self._n_slots
+        self._coords[idx] = point
+        self._values[idx] = float(value)
+        self._tids[idx] = tid
+        self._alive[idx] = True
+        self._n_slots += 1
         self._idx_of[tid] = idx
         self._n_live += 1
         self._insert_into_tree(idx)
         self._maybe_rebuild()
 
+    def add_many(self, tids, coords, values) -> int:
+        """Bulk insert; returns the number of points added.
+
+        One contiguous array append, one duplicate check, and one
+        amortized-rebuild decision per batch.  Batches at least
+        ``_BULK_REBUILD_FRACTION`` of the resulting pool skip the
+        per-point tree walks and rebuild the skeleton with the
+        vectorized builder instead - this is how re-initialization
+        snapshots and reservoir resets build a fresh 50k-sample index
+        without 50k Python tree descents.
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim == 1:
+            coords = coords.reshape(-1, 1) if self.dim == 1 else \
+                coords.reshape(1, -1)
+        if coords.shape[0] == 0:
+            return 0
+        if coords.shape[1] != self.dim:
+            raise ValueError("coords arity mismatch")
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        tid_arr = np.asarray(tids, dtype=np.int64).reshape(-1)
+        n = coords.shape[0]
+        if values.shape[0] != n or tid_arr.shape[0] != n:
+            raise ValueError("tids/coords/values length mismatch")
+        # Reject duplicates (within the batch or vs the pool) before any
+        # state changes, mirroring the per-point insert contract.  The
+        # pool check goes through the tid dict - O(batch), independent
+        # of pool size, so steady streaming ingest never pays an O(m)
+        # pool scan per accepted batch.
+        if np.unique(tid_arr).size != n:
+            raise KeyError("duplicate tid within batch")
+        idx_of = self._idx_of
+        for t in tid_arr.tolist():
+            if t in idx_of:
+                raise KeyError(f"tid {t} already indexed")
+        self._ensure_capacity(n)
+        lo = self._n_slots
+        self._coords[lo:lo + n] = coords
+        self._values[lo:lo + n] = values
+        self._tids[lo:lo + n] = tid_arr
+        self._alive[lo:lo + n] = True
+        self._n_slots += n
+        self._n_live += n
+        if n >= max(_MIN_BULK_REBUILD,
+                    int(_BULK_REBUILD_FRACTION * self._n_live)):
+            self.rebuild()          # rebuilds the tid map itself
+        else:
+            idx_of = self._idx_of
+            for offset, t in enumerate(tid_arr.tolist()):
+                idx_of[t] = lo + offset
+            for idx in range(lo, lo + n):
+                self._insert_into_tree(idx)
+            self._maybe_rebuild()
+        return n
+
     def delete(self, tid: int) -> bool:
-        idx = self._idx_of.pop(tid, None)
+        idx = self._idx_of.pop(int(tid), None)
         if idx is None:
             return False
         self._alive[idx] = False
@@ -166,7 +255,11 @@ class RangeIndex:
 
         Tombstones all members first and runs the amortized-rebuild
         check once per batch, so a large eviction sweep cannot trigger
-        (and pay for) several intermediate rebuilds.
+        (and pay for) several intermediate rebuilds.  Per-point skeleton
+        walks are kept (they only decrement aggregates) so the k-d
+        skeleton evolves exactly like the pure-Python reference's; the
+        rebuild a heavy sweep eventually triggers is the vectorized
+        one.
         """
         removed = 0
         for tid in tids:
@@ -184,14 +277,16 @@ class RangeIndex:
 
     def get(self, tid: int) -> Tuple[np.ndarray, float]:
         idx = self._idx_of[tid]
-        return np.asarray(self._coords[idx]), self._values[idx]
+        return self._coords[idx].copy(), float(self._values[idx])
 
     # ------------------------------------------------------------------ #
-    # tree maintenance
+    # tree maintenance (k-d skeleton; decisions match PyRangeIndex)
     # ------------------------------------------------------------------ #
     def _insert_into_tree(self, idx: int) -> None:
-        point = self._coords[idx]
-        value = self._values[idx]
+        # Plain floats for the walk: scalar indexing into a numpy row
+        # costs ~10x a tuple access, and this loop runs per insert.
+        point = tuple(self._coords[idx].tolist())
+        value = float(self._values[idx])
         node = self._root
         while True:
             node.count += 1
@@ -209,8 +304,8 @@ class RangeIndex:
                 node = node.right
 
     def _remove_from_tree(self, idx: int) -> None:
-        point = self._coords[idx]
-        value = self._values[idx]
+        point = tuple(self._coords[idx].tolist())
+        value = float(self._values[idx])
         node = self._root
         while True:
             node.count -= 1
@@ -223,39 +318,49 @@ class RangeIndex:
             else:
                 node = node.right
 
+    def _leaf_child(self, live: np.ndarray) -> _KDNode:
+        node = _KDNode()
+        node.indices = live.tolist()
+        node.count = int(live.size)
+        vals = self._values[live]
+        node.sum_a = float(vals.sum())
+        node.sum_a2 = float((vals * vals).sum())
+        pts = self._coords[live]
+        node.bbox_lo = pts.min(axis=0).tolist()
+        node.bbox_hi = pts.max(axis=0).tolist()
+        return node
+
     def _split_leaf(self, node: _KDNode) -> None:
-        live = [i for i in node.indices if self._alive[i]]
-        if len(live) <= self.leaf_size:
-            node.indices = live  # compact dead slots instead
+        idx_arr = np.asarray(node.indices, dtype=np.intp)
+        live = idx_arr[self._alive[idx_arr]]
+        if live.size <= self.leaf_size:
+            node.indices = live.tolist()  # compact dead slots instead
             return
-        pts = [self._coords[i] for i in live]
-        widths = [max(p[d] for p in pts) - min(p[d] for p in pts)
-                  for d in range(self.dim)]
-        dim = max(range(self.dim), key=widths.__getitem__)
+        pts = self._coords[live]
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        widths = hi - lo
+        dim = int(np.argmax(widths))
         if widths[dim] == 0:
             return  # all points identical along every axis: keep fat leaf
-        col = sorted(p[dim] for p in pts)
-        split_val = col[len(col) // 2]
-        if split_val >= col[-1]:
-            split_val = (col[0] + col[-1]) / 2.0  # duplicate-heavy column
-        left, right = _KDNode(), _KDNode()
-        for i in live:
-            child = left if self._coords[i][dim] <= split_val else right
-            child.indices.append(i)
-            child.count += 1
-            child.grow_bbox(self._coords[i])
-            v = self._values[i]
-            child.sum_a += v
-            child.sum_a2 += v * v
-        if left.count == 0 or right.count == 0:
+        col = pts[:, dim]
+        mid = live.size // 2
+        split_val = float(np.partition(col, mid)[mid])
+        if split_val >= hi[dim]:
+            split_val = (float(lo[dim]) + float(hi[dim])) / 2.0
+        left_sel = col <= split_val
+        left_live = live[left_sel]
+        right_live = live[~left_sel]
+        if left_live.size == 0 or right_live.size == 0:
             return  # degenerate split: keep as leaf
         node.indices = None
         node.split_dim = dim
         node.split_val = split_val
-        node.left, node.right = left, right
+        node.left = self._leaf_child(left_live)
+        node.right = self._leaf_child(right_live)
 
     def _maybe_rebuild(self) -> None:
-        total = len(self._coords)
+        total = self._n_slots
         dead_heavy = total > 64 and self._n_dead > _REBUILD_DEAD_FRACTION * total
         grew = (self._size_at_build > 0 and
                 self._n_live > _REBUILD_GROWTH_FACTOR * self._size_at_build)
@@ -263,43 +368,64 @@ class RangeIndex:
             self.rebuild()
 
     def rebuild(self) -> None:
-        """Compact dead slots and rebuild a balanced tree bottom-up."""
-        live = [i for i in range(len(self._coords)) if self._alive[i]]
-        self._coords = [self._coords[i] for i in live]
-        self._values = [self._values[i] for i in live]
-        self._tids = [self._tids[i] for i in live]
-        self._alive = [True] * len(live)
-        self._idx_of = {t: i for i, t in enumerate(self._tids)}
-        self._n_dead = 0
-        self._n_live = len(live)
-        self._size_at_build = len(live)
-        self._root = self._build(list(range(len(live))))
+        """Compact dead slots and rebuild a balanced tree bottom-up.
 
-    def _build(self, indices: List[int]) -> _KDNode:
+        Both steps are vectorized: compaction is one boolean gather per
+        array, and the recursive builder computes node statistics and
+        bounding boxes with numpy reductions over index blocks.
+        """
+        keep = np.flatnonzero(self._alive[:self._n_slots])
+        n = keep.size
+        cap = max(64, n + (n >> 1))
+        coords = np.empty((cap, self.dim), dtype=np.float64)
+        coords[:n] = self._coords[keep]
+        values = np.empty(cap, dtype=np.float64)
+        values[:n] = self._values[keep]
+        tids = np.empty(cap, dtype=np.int64)
+        tids[:n] = self._tids[keep]
+        alive = np.zeros(cap, dtype=bool)
+        alive[:n] = True
+        self._coords, self._values = coords, values
+        self._tids, self._alive = tids, alive
+        self._n_slots = n
+        self._idx_of = {int(t): i for i, t in enumerate(tids[:n])}
+        self._n_dead = 0
+        self._n_live = n
+        self._size_at_build = n
+        self._root = self._build(np.arange(n, dtype=np.intp))
+
+    def _build(self, indices: np.ndarray) -> _KDNode:
         node = _KDNode()
-        vals = [self._values[i] for i in indices]
-        node.count = len(indices)
-        node.sum_a = float(sum(vals))
-        node.sum_a2 = float(sum(v * v for v in vals))
-        node.set_bbox([self._coords[i] for i in indices])
-        if len(indices) <= self.leaf_size:
-            node.indices = indices
+        m = indices.size
+        node.count = int(m)
+        vals = self._values[indices]
+        node.sum_a = float(vals.sum())
+        node.sum_a2 = float((vals * vals).sum())
+        if m == 0:
+            node.indices = []
             return node
-        pts = [self._coords[i] for i in indices]
-        widths = [max(p[d] for p in pts) - min(p[d] for p in pts)
-                  for d in range(self.dim)]
-        dim = max(range(self.dim), key=widths.__getitem__)
+        pts = self._coords[indices]
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        node.bbox_lo = lo.tolist()
+        node.bbox_hi = hi.tolist()
+        if m <= self.leaf_size:
+            node.indices = indices.tolist()
+            return node
+        widths = hi - lo
+        dim = int(np.argmax(widths))
         if widths[dim] == 0:
-            node.indices = indices
+            node.indices = indices.tolist()
             return node
-        col = sorted(p[dim] for p in pts)
-        split_val = col[len(col) // 2]
-        if split_val >= col[-1]:
-            split_val = (col[0] + col[-1]) / 2.0
-        left_idx = [i for i in indices if self._coords[i][dim] <= split_val]
-        right_idx = [i for i in indices if self._coords[i][dim] > split_val]
-        if not left_idx or not right_idx:
-            node.indices = indices
+        col = pts[:, dim]
+        split_val = float(np.partition(col, m // 2)[m // 2])
+        if split_val >= hi[dim]:
+            split_val = (float(lo[dim]) + float(hi[dim])) / 2.0
+        left_sel = col <= split_val
+        left_idx = indices[left_sel]
+        right_idx = indices[~left_sel]
+        if left_idx.size == 0 or right_idx.size == 0:
+            node.indices = indices.tolist()
             return node
         node.indices = None
         node.split_dim = dim
@@ -309,101 +435,48 @@ class RangeIndex:
         return node
 
     # ------------------------------------------------------------------ #
-    # queries
+    # queries (vectorized flat scans over the columnar pool)
     # ------------------------------------------------------------------ #
+    def _mask_for(self, qlo: Sequence[float],
+                  qhi: Sequence[float]) -> np.ndarray:
+        n = self._n_slots
+        mask = self._alive[:n].copy()
+        coords = self._coords[:n]
+        for d in range(self.dim):
+            lo, hi = qlo[d], qhi[d]
+            col = coords[:, d]
+            if lo != -math.inf:
+                mask &= col >= lo
+            if hi != math.inf:
+                mask &= col <= hi
+        return mask
+
     def range_stats(self, rect: Rectangle) -> Tuple[int, float, float]:
         """``(count, sum_a, sum_a2)`` over live points inside ``rect``."""
-        return self._range_stats(self._root, rect.lo, rect.hi)
-
-    def _range_stats(self, node: _KDNode, qlo: Tuple[float, ...],
-                     qhi: Tuple[float, ...]) -> Tuple[int, float, float]:
-        if node.count == 0:
-            return 0, 0.0, 0.0
-        rel = node.relation(qlo, qhi)
-        if rel == _DISJOINT:
-            return 0, 0.0, 0.0
-        if rel == _CONTAINED:
-            return node.count, node.sum_a, node.sum_a2
-        if node.is_leaf:
-            c, s, s2 = 0, 0.0, 0.0
-            coords, values, alive = self._coords, self._values, self._alive
-            dim = self.dim
-            for i in node.indices:
-                if not alive[i]:
-                    continue
-                p = coords[i]
-                inside = True
-                for d in range(dim):
-                    x = p[d]
-                    if x < qlo[d] or x > qhi[d]:
-                        inside = False
-                        break
-                if inside:
-                    v = values[i]
-                    c += 1
-                    s += v
-                    s2 += v * v
-            return c, s, s2
-        cl, sl, s2l = self._range_stats(node.left, qlo, qhi)
-        cr, sr, s2r = self._range_stats(node.right, qlo, qhi)
-        return cl + cr, sl + sr, s2l + s2r
+        mask = self._mask_for(rect.lo, rect.hi)
+        vals = self._values[:self._n_slots][mask]
+        return (int(vals.size), float(vals.sum()),
+                float((vals * vals).sum()))
 
     def count(self, rect: Rectangle) -> int:
-        return self.range_stats(rect)[0]
+        return int(np.count_nonzero(self._mask_for(rect.lo, rect.hi)))
 
     def report(self, rect: Rectangle) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """All live points in ``rect`` as ``(coords, values, tids)`` arrays."""
-        out_idx: List[int] = []
-        self._report(self._root, rect.lo, rect.hi, out_idx)
-        if not out_idx:
+        """All live points in ``rect`` as ``(coords, values, tids)`` arrays.
+
+        One vectorized containment mask and three gathers; rows come
+        back in storage order (insertion order between rebuilds).
+        """
+        idx = np.flatnonzero(self._mask_for(rect.lo, rect.hi))
+        if idx.size == 0:
             return (np.empty((0, self.dim)), np.empty(0),
                     np.empty(0, dtype=np.int64))
-        coords = np.array([self._coords[i] for i in out_idx])
-        values = np.array([self._values[i] for i in out_idx])
-        tids = np.array([self._tids[i] for i in out_idx], dtype=np.int64)
-        return coords, values, tids
+        return self._coords[idx], self._values[idx], self._tids[idx]
 
-    def _report(self, node: _KDNode, qlo: Tuple[float, ...],
-                qhi: Tuple[float, ...], out: List[int]) -> None:
-        if node.count == 0:
-            return
-        rel = node.relation(qlo, qhi)
-        if rel == _DISJOINT:
-            return
-        if node.is_leaf:
-            coords, alive = self._coords, self._alive
-            dim = self.dim
-            if rel == _CONTAINED:
-                out.extend(i for i in node.indices if alive[i])
-                return
-            for i in node.indices:
-                if not alive[i]:
-                    continue
-                p = coords[i]
-                inside = True
-                for d in range(dim):
-                    x = p[d]
-                    if x < qlo[d] or x > qhi[d]:
-                        inside = False
-                        break
-                if inside:
-                    out.append(i)
-            return
-        if rel == _CONTAINED:
-            self._collect_all(node, out)
-            return
-        self._report(node.left, qlo, qhi, out)
-        self._report(node.right, qlo, qhi, out)
-
-    def _collect_all(self, node: _KDNode, out: List[int]) -> None:
-        if node.count == 0:
-            return
-        if node.is_leaf:
-            alive = self._alive
-            out.extend(i for i in node.indices if alive[i])
-            return
-        self._collect_all(node.left, out)
-        self._collect_all(node.right, out)
+    def all_items(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All live points: ``(coords, values, tids)``."""
+        keep = np.flatnonzero(self._alive[:self._n_slots])
+        return self._coords[keep], self._values[keep], self._tids[keep]
 
     def small_cells(self, rect: Rectangle,
                     max_count: int) -> Iterator[Tuple[Rectangle, int, float, float]]:
@@ -414,7 +487,9 @@ class RangeIndex:
         ``delta*m`` samples (Appendix D.1): the AVG oracle scans these for
         the one maximizing the sum of squared aggregation values.  The
         yielded rectangle is the node's point bounding box - a genuine
-        witness rectangle, since siblings' cells are disjoint.
+        witness rectangle, since siblings' cells are disjoint.  This is
+        the one query the k-d skeleton is kept for: canonical cells have
+        no flat-scan analogue.
         """
         yield from self._small_cells(self._root, rect.lo, rect.hi,
                                      max_count)
@@ -444,7 +519,3 @@ class RangeIndex:
         if not 0 <= k < coords.shape[0]:
             raise IndexError("rank out of range")
         return float(np.partition(coords[:, dim], k)[k])
-
-    def all_items(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """All live points: ``(coords, values, tids)``."""
-        return self.report(Rectangle.unbounded(self.dim))

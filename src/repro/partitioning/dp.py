@@ -115,11 +115,56 @@ class DPPartitioner:
                             (n_b * n_b) / (m_b ** 3)
                             * np.maximum(m_b * s2 - s * s, 0.0), 0.0)
                     var = np.maximum(var, v)
-            else:  # AVG: per-bucket window scan (costlier: the DP pays it)
-                var = np.array([prefix.max_var_avg(int(lo), i, window)
-                                for lo in l])
+            else:  # AVG: all left endpoints share one window-stat pass
+                var = self._avg_cost_row(p1, p2, i, window)
             cost[:i, i] = np.sqrt(np.maximum(var, 0.0))
         return cost
+
+    @staticmethod
+    def _avg_cost_row(p1: np.ndarray, p2: np.ndarray, i: int,
+                      window: int) -> np.ndarray:
+        """AVG max-variance of every bucket ``[l, i)`` for one ``i``.
+
+        Vectorizes the former per-``l`` ``PrefixStats.max_var_avg``
+        loop over the shared prefix sums, like the SUM/COUNT branches:
+        buckets no longer than the window are their own (single)
+        window, and longer buckets take the best of the
+        ``window``-sample segments starting inside them, computed as
+        one broadcast over (bucket, segment) pairs with a running
+        suffix restriction.  Matches the scalar oracle bit for bit -
+        same prefix differences, same products, same max.
+        """
+        l = np.arange(i)
+        m_b = i - l
+        var = np.zeros(i, dtype=np.float64)
+        # Short buckets (m_b <= window): w = m_b, one whole-bucket window.
+        short = m_b <= window
+        if short.any():
+            ls = l[short]
+            mb = m_b[short].astype(np.float64)
+            s = p1[i] - p1[ls]
+            s2 = p2[i] - p2[ls]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                v = np.where(mb > 1,
+                             np.maximum(mb * s2 - s * s, 0.0) / (mb ** 3),
+                             0.0)
+            var[short] = v
+        # Long buckets (m_b > window): w = window; bucket [l, i) scans
+        # segments [t, t + w) for t in [l, i - w].
+        n_long = i - window            # these are l = 0 .. i - window - 1
+        if n_long > 0:
+            w = window
+            t_hi = p2[w:i + 1] - p2[:i - w + 1]          # sumsq per segment
+            t_s1 = p1[w:i + 1] - p1[:i - w + 1]
+            seg_b = t_s1 * t_s1                          # (sum)^2 per segment
+            mb = m_b[:n_long].astype(np.float64)
+            scores = mb[:, None] * t_hi[None, :] - seg_b[None, :]
+            # segment t is admissible for bucket l only when t >= l
+            t_idx = np.arange(t_hi.shape[0])
+            scores[t_idx[None, :] < np.arange(n_long)[:, None]] = -np.inf
+            best = scores.max(axis=1)
+            var[:n_long] = np.maximum(best / (mb * w * w), 0.0)
+        return var
 
     @staticmethod
     def _backtrack(choice: np.ndarray, k: int, m: int) -> List[int]:

@@ -155,12 +155,21 @@ class MaxVarOracle:
     ``pop_ratio`` (N/m) converts sample counts to population estimates;
     ``delta`` is the minimum-support fraction for AVG queries (Section
     5.3.1, default 5%).
+
+    For SUM and COUNT the rows-based entry point
+    (:meth:`max_variance_rows`) never touches the index, so ``index``
+    may be ``None`` when the caller supplies member blocks itself (the
+    k-d partitioner over a frozen snapshot); AVG still needs the index
+    for its canonical-cell candidate family.
     """
 
-    def __init__(self, index: RangeIndex, agg: AggFunc, pop_ratio: float,
-                 delta: float = 0.05) -> None:
+    def __init__(self, index: Optional[RangeIndex], agg: AggFunc,
+                 pop_ratio: float, delta: float = 0.05) -> None:
         if agg not in (AggFunc.SUM, AggFunc.COUNT, AggFunc.AVG):
             raise ValueError(f"no max-variance oracle for {agg}")
+        if index is None and agg is AggFunc.AVG:
+            raise ValueError("the AVG oracle needs a sample index for "
+                             "its canonical-cell candidates")
         self.index = index
         self.agg = agg
         self.pop_ratio = pop_ratio
@@ -174,12 +183,45 @@ class MaxVarOracle:
             m_b = self.index.count(rect)
             return MaxVarResult(count_query_variance(self.pop_ratio, m_b),
                                 witness=rect)
-        if self.agg is AggFunc.SUM:
-            return self._max_var_sum(rect)
-        return self._max_var_avg(rect)
+        coords, values, tids = self.index.report(rect)
+        return self._max_var_rows(rect, coords, values, tids)
 
-    def _max_var_sum(self, rect: Rectangle) -> MaxVarResult:
-        coords, values, _ = self.index.report(rect)
+    def max_variance_rows(self, rect: Rectangle, coords: np.ndarray,
+                          values: np.ndarray,
+                          tids: np.ndarray) -> MaxVarResult:
+        """M(R) over a pre-materialized member block of ``rect``.
+
+        The vectorized k-d partitioner maintains each candidate leaf's
+        member rows as index arrays into one flat sample matrix; this
+        entry point lets it probe the oracle without a per-split
+        ``report`` scan.  The rows must be exactly the live points
+        inside ``rect``.
+        """
+        if self.agg is AggFunc.COUNT:
+            return MaxVarResult(count_query_variance(self.pop_ratio,
+                                                     values.shape[0]),
+                                witness=rect)
+        return self._max_var_rows(rect, coords, values, tids)
+
+    def _max_var_rows(self, rect: Rectangle, coords: np.ndarray,
+                      values: np.ndarray, tids: np.ndarray) -> MaxVarResult:
+        # Canonical tid order first: ``report`` order is an
+        # implementation detail (tree traversal vs storage order), and
+        # with duplicate coordinates the stable by-coordinate argsorts
+        # below would otherwise tie-break differently.  After this sort
+        # the oracle is a pure function of the point *set*.  Member
+        # blocks from the k-d partitioner (and most storage-order
+        # reports) arrive already ascending, so probe the cheap O(n)
+        # check before paying the sort and two gathers.
+        if tids.shape[0] > 1 and np.any(tids[1:] < tids[:-1]):
+            order = np.argsort(tids, kind="stable")
+            coords, values = coords[order], values[order]
+        if self.agg is AggFunc.SUM:
+            return self._max_var_sum(rect, coords, values)
+        return self._max_var_avg(rect, coords, values)
+
+    def _max_var_sum(self, rect: Rectangle, coords: np.ndarray,
+                     values: np.ndarray) -> MaxVarResult:
         m_b = values.shape[0]
         if m_b <= 1:
             return MaxVarResult(0.0, witness=rect)
@@ -206,8 +248,8 @@ class MaxVarOracle:
                 best_witness = Rectangle.from_bounds(bounds)
         return MaxVarResult(best_var, witness=best_witness)
 
-    def _max_var_avg(self, rect: Rectangle) -> MaxVarResult:
-        coords, values, _ = self.index.report(rect)
+    def _max_var_avg(self, rect: Rectangle, coords: np.ndarray,
+                     values: np.ndarray) -> MaxVarResult:
         m_b = values.shape[0]
         if m_b <= 1:
             return MaxVarResult(0.0, witness=rect)
@@ -226,7 +268,6 @@ class MaxVarOracle:
                 best_var = var
                 best_witness = cell
         # Candidate family (b): axis-aligned windows of w samples.
-        p_sorted: np.ndarray
         for dim in range(coords.shape[1]):
             order = np.argsort(coords[:, dim], kind="stable")
             vals = values[order]
