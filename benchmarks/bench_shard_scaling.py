@@ -1,0 +1,307 @@
+"""Shard scaling: sustained ingest and query throughput across 1-8 shards.
+
+The ISSUE 4 acceptance benchmark for :class:`repro.core.sharded.
+ShardedJanusAQP`.  Every engine - one plain ``JanusAQP`` baseline and
+sharded fleets of 2/4/8 - receives the *identical* workload and the
+identical per-synopsis configuration: a seeded table, a sustained
+batched insert stream, and automatic forced re-partitioning every
+``REPART`` updates (``repartition_every``, the paper's Figure 10 knob),
+i.e. the production steady state in which the synopsis must stay fresh
+while ingesting.
+
+What sharding buys on this workload, even on a single core:
+
+* **Sustained ingest throughput** - every re-partitioning rebuilds one
+  shard's synopsis (pool m/N, k/N leaves) instead of the whole thing,
+  and the per-shard triggers fire after the same number of *local*
+  updates, so the fleet does the same number of rebuilds over the run
+  but each costs a fraction.  The 4-shard fleet must be **>= 2x** the
+  single-instance rows/s (the ISSUE 4 gate, full mode).
+* **Availability** - the coordinator staggers the per-shard triggers so
+  at most one shard rebuilds at a time; the worst-case insert-batch
+  stall drops from one full re-initialization to one shard-sized one
+  (``max_stall_ms`` in the artifact).
+
+What sharding costs: every query fans out to all N shards and merges,
+so on a single core batched query throughput scales ~1/N (the classic
+read amplification of partitioned serving; threads recover it on
+multi-core hosts since each shard's query path is numpy under its own
+lock).  The artifact records the query series so the trade-off is
+visible per commit.
+
+Correctness gates first, timing second: merging must not damage CI
+calibration - the 4-shard fleet's ground-truth coverage (z=2.6, over
+SUM/COUNT/AVG) must be no more than 5 points below the single
+instance's own coverage on the identical workload (COUNT intervals
+under-cover on this drift-heavy stream in *both* engines; that is a
+property of the underlying estimator, and the merged intervals in fact
+cover slightly better than the single tree's) - MIN/MAX estimates must
+stay on the conservative side of the truth, and exact-flagged answers
+must equal the truth.
+
+Emits ``BENCH_shard_scaling.json``.  Set ``JANUS_BENCH_SMOKE=1`` (the
+CI default) for a reduced run that still writes the artifact; smoke
+mode asserts correctness only, since wall-clock ratios flake on shared
+runners.
+"""
+
+import math
+import os
+import time
+from functools import lru_cache
+
+import numpy as np
+
+from conftest import emit, emit_json
+from repro.core.janus import JanusAQP, JanusConfig
+from repro.core.queries import AggFunc, Query, Rectangle
+from repro.core.sharded import ShardedJanusAQP
+from repro.core.table import Table
+from repro.datasets import synthetic
+
+SMOKE = os.environ.get("JANUS_BENCH_SMOKE", "") not in ("", "0")
+
+N_TOTAL = 40_000 if SMOKE else 200_000
+N_SEED = 10_000 if SMOKE else 40_000
+BATCH = 2048
+REPART = 4_096 if SMOKE else 12_288
+RATE = 0.03 if SMOKE else 0.05
+K_LEAVES = 64 if SMOKE else 256
+SHARD_COUNTS = (2, 4) if SMOKE else (2, 4, 8)
+N_QUERIES = 512 if SMOKE else 2_048
+QUERY_BATCH = 256
+# One-shot wall-clock on a shared box swings +-20%; each configuration
+# is measured on fresh engines for N_ROUNDS and the best round is kept,
+# which is what the 4-shard >= 2x gate is asserted against.
+N_ROUNDS = 1 if SMOKE else 2
+MIN_INGEST_SPEEDUP = 2.0      # at 4 shards, full mode
+MIN_CI_COVERAGE = 0.60        # absolute sanity floor
+MAX_COVERAGE_LOSS = 0.05      # vs the single instance's own coverage
+
+ALL_AGGS = list(AggFunc)
+
+
+def config(k: int) -> JanusConfig:
+    return JanusConfig(k=k, sample_rate=RATE, catchup_rate=0.05,
+                       check_every=10 ** 9, repartition_every=REPART,
+                       seed=0)
+
+
+def load_rows():
+    return synthetic.load("nyc_taxi", n=N_TOTAL, seed=0)
+
+
+def make_workload(ds, n):
+    rng = np.random.default_rng(1)
+    keys = ds.data[:, [i for i, a in enumerate(ds.schema)
+                       if a == ds.predicate_attrs[0]][0]]
+    lo_d, hi_d = float(keys.min()), float(keys.max())
+    queries = []
+    for i in range(n):
+        a, b = sorted(rng.uniform(lo_d, hi_d, 2))
+        queries.append(Query(ALL_AGGS[i % len(ALL_AGGS)], ds.agg_attr,
+                             ds.predicate_attrs, Rectangle((a,), (b,))))
+    return queries
+
+
+def build_single(ds):
+    table = Table(ds.schema, capacity=ds.n + 16)
+    table.insert_many(ds.data[:N_SEED])
+    janus = JanusAQP(table, ds.agg_attr, ds.predicate_attrs,
+                     config=config(K_LEAVES))
+    janus.initialize()
+    return janus
+
+
+def build_sharded(ds, n_shards):
+    sharded = ShardedJanusAQP(
+        ds.schema, ds.agg_attr, ds.predicate_attrs, n_shards=n_shards,
+        config=config(max(2, K_LEAVES // n_shards)))
+    sharded.insert_many(ds.data[:N_SEED])
+    sharded.initialize()
+    return sharded
+
+
+def drive_ingest(engine, rows):
+    """Sustained batched ingest; returns (rows/s, worst batch stall s)."""
+    stalls = []
+    t0 = time.perf_counter()
+    for start in range(0, len(rows), BATCH):
+        tb = time.perf_counter()
+        engine.insert_many(rows[start:start + BATCH])
+        stalls.append(time.perf_counter() - tb)
+    return len(rows) / (time.perf_counter() - t0), max(stalls)
+
+
+def drive_queries(engine, queries):
+    engine.query_many(queries[:QUERY_BATCH])        # warm
+    t0 = time.perf_counter()
+    for start in range(0, len(queries), QUERY_BATCH):
+        engine.query_many(queries[start:start + QUERY_BATCH])
+    return len(queries) / (time.perf_counter() - t0)
+
+
+def n_repartitions(engine):
+    if isinstance(engine, ShardedJanusAQP):
+        return sum(s.n_repartitions for s in engine.shards)
+    return engine.n_repartitions
+
+
+def check_correctness(engine, queries):
+    """An engine's answers against its own ground truth.
+
+    Works for both the single instance and the fleet: coverage counts
+    SUM/COUNT/AVG queries whose z=2.6 interval contains the truth, and
+    MIN/MAX/exact answers are hard-checked.
+    """
+    results = engine.query_many(queries)
+    truth_of = engine.ground_truth if hasattr(engine, "ground_truth") \
+        else engine.table.ground_truth
+    covered = 0
+    n_interval = 0
+    failures = []
+    for query, result in zip(queries, results):
+        truth = truth_of(query)
+        if math.isnan(truth):
+            continue
+        if result.exact and not math.isnan(result.estimate):
+            if result.estimate != truth:
+                failures.append(f"exact {query.agg.value} != truth")
+            continue
+        if query.agg in (AggFunc.SUM, AggFunc.COUNT, AggFunc.AVG):
+            lo, hi = result.ci(2.6)
+            n_interval += 1
+            covered += int(lo <= truth <= hi)
+        elif query.agg is AggFunc.MIN:
+            if not (result.estimate >= truth - 1e-9 or
+                    math.isnan(result.estimate)):
+                failures.append("MIN below truth")
+        elif query.agg is AggFunc.MAX:
+            if not (result.estimate <= truth + 1e-9 or
+                    math.isnan(result.estimate)):
+                failures.append("MAX above truth")
+    coverage = covered / max(n_interval, 1)
+    return coverage, n_interval, failures
+
+
+def measure(build, stream, queries):
+    """Best-of-``N_ROUNDS`` drive of one engine configuration.
+
+    Every round constructs a fresh engine (ingest mutates it), drives
+    the full stream and the query workload, and the best round's
+    throughput / smallest stall are kept.  The final round's engine is
+    returned so correctness checks run against a fully driven state.
+    """
+    best = None
+    engine = None
+    for _ in range(N_ROUNDS):
+        if engine is not None and hasattr(engine, "close"):
+            engine.close()
+        engine = build()
+        tput, stall = drive_ingest(engine, stream)
+        qps = drive_queries(engine, queries)
+        row = (tput, stall, qps, n_repartitions(engine))
+        if best is None:
+            best = row
+        else:
+            best = (max(best[0], tput), min(best[1], stall),
+                    max(best[2], qps), row[3])
+    return best, engine
+
+
+@lru_cache(maxsize=None)
+def run_shard_scaling():
+    ds = load_rows()
+    stream = ds.data[N_SEED:]
+    queries = make_workload(ds, N_QUERIES)
+
+    series = []
+    (tput1, stall1, qps1, reparts1), single = measure(
+        lambda: build_single(ds), stream, queries)
+    check = queries[:min(N_QUERIES, 512)]
+    single_coverage, _, single_failures = check_correctness(single, check)
+    series.append({"shards": 1,
+                   "ingest_rows_per_sec": tput1,
+                   "ingest_speedup": 1.0,
+                   "max_stall_ms": stall1 * 1000,
+                   "query_qps": qps1,
+                   "query_speedup": 1.0,
+                   "n_repartitions": reparts1})
+
+    coverage = None
+    checked = 0
+    failures = []
+    for n_shards in SHARD_COUNTS:
+        (tput, stall, qps, reparts), sharded = measure(
+            lambda: build_sharded(ds, n_shards), stream, queries)
+        if n_shards == 4:
+            coverage, checked, failures = check_correctness(sharded,
+                                                            check)
+        series.append({"shards": n_shards,
+                       "ingest_rows_per_sec": tput,
+                       "ingest_speedup": tput / tput1,
+                       "max_stall_ms": stall * 1000,
+                       "query_qps": qps,
+                       "query_speedup": qps / qps1,
+                       "n_repartitions": reparts})
+        sharded.close()
+
+    at4 = next((row for row in series if row["shards"] == 4), series[-1])
+    return {
+        "smoke": SMOKE,
+        "n_rows_total": N_TOTAL,
+        "n_rows_seed": N_SEED,
+        "ingest_batch": BATCH,
+        "repartition_every": REPART,
+        "sample_rate": RATE,
+        "k_leaves_total": K_LEAVES,
+        "series": series,
+        "ingest_speedup_4_shards": at4["ingest_speedup"],
+        "stall_improvement_4_shards":
+            series[0]["max_stall_ms"] / at4["max_stall_ms"],
+        "ci_coverage_4_shards": coverage,
+        "ci_coverage_single": single_coverage,
+        "n_ci_checked": checked,
+        "n_correctness_failures": len(failures) + len(single_failures),
+        "correctness_failures": (failures + single_failures)[:10],
+    }
+
+
+def format_table(r) -> str:
+    lines = [
+        f"Shard scaling (stream {r['n_rows_total'] - r['n_rows_seed']} "
+        f"rows, batch {r['ingest_batch']}, repartition every "
+        f"{r['repartition_every']}{', smoke' if r['smoke'] else ''})",
+        f"{'shards':>7}{'ingest rows/s':>15}{'speedup':>9}"
+        f"{'max stall ms':>14}{'query q/s':>11}{'reparts':>9}",
+    ]
+    for row in r["series"]:
+        lines.append(
+            f"{row['shards']:>7}{row['ingest_rows_per_sec']:>15,.0f}"
+            f"{row['ingest_speedup']:>8.2f}x"
+            f"{row['max_stall_ms']:>14.0f}{row['query_qps']:>11,.0f}"
+            f"{row['n_repartitions']:>9}")
+    lines.append(
+        f"4-shard ingest speedup {r['ingest_speedup_4_shards']:.2f}x, "
+        f"stall {r['stall_improvement_4_shards']:.1f}x better; CI "
+        f"coverage {r['ci_coverage_4_shards']:.0%} sharded vs "
+        f"{r['ci_coverage_single']:.0%} single over "
+        f"{r['n_ci_checked']} queries, "
+        f"{r['n_correctness_failures']} correctness failures")
+    return "\n".join(lines)
+
+
+def test_shard_scaling(benchmark):
+    """ISSUE 4 acceptance: >=2x batched ingest at 4 shards vs 1."""
+    result = benchmark.pedantic(run_shard_scaling, rounds=1, iterations=1)
+    emit("shard_scaling", format_table(result))
+    emit_json("BENCH_shard_scaling", result)
+    assert result["n_correctness_failures"] == 0
+    assert result["ci_coverage_4_shards"] >= MIN_CI_COVERAGE
+    assert result["ci_coverage_4_shards"] >= \
+        result["ci_coverage_single"] - MAX_COVERAGE_LOSS
+    if not SMOKE:
+        # Wall-clock ratios flake on oversubscribed shared runners, so
+        # smoke (CI) mode only records the number in the artifact; the
+        # full run gates on the ISSUE 4 acceptance floor.
+        assert result["ingest_speedup_4_shards"] >= MIN_INGEST_SPEEDUP

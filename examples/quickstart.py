@@ -1,21 +1,25 @@
 """Quickstart: build a JanusAQP synopsis, stream updates, query with CIs.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
+
+``main(n=...)`` accepts a reduced row count so the smoke test
+(``tests/test_examples.py``) can execute the identical code cheaply.
 """
 
 import numpy as np
 
-from repro import (AggFunc, JanusAQP, JanusConfig, Query, Rectangle, Table)
+from repro import (AggFunc, JanusAQP, JanusConfig, Query, Rectangle,
+                   ShardedJanusAQP, Table)
 from repro.datasets import nyc_taxi
 
 
-def main() -> None:
+def main(n: int = 50_000) -> None:
     # 1. Generate a taxi-trip-shaped dataset and load the first half as
     #    "historical" data.  In a real deployment the Table is your
     #    archival store; the synopsis never reads it at query time.
-    ds = nyc_taxi(n=50_000, seed=7)
+    ds = nyc_taxi(n=n, seed=7)
     table = Table(ds.schema, capacity=ds.n + 16)
-    table.insert_many(ds.data[: ds.n // 2])
+    table.insert_many(ds.data[: n // 2])
 
     # 2. Construct the synopsis: aggregation attribute, predicate
     #    attributes and a handful of knobs (Section 3.1 of the paper).
@@ -48,13 +52,13 @@ def main() -> None:
     #    through the per-node delta statistics.  Batched ingestion
     #    (insert_many / delete_many) is 5-10x faster than the per-row
     #    calls and produces the identical synopsis state.
-    janus.insert_many(ds.data[ds.n // 2: ds.n // 2 + 5_000])
+    janus.insert_many(ds.data[n // 2: n // 2 + n // 10])
     rng = np.random.default_rng(1)
-    janus.delete_many(rng.choice(table.live_tids(), size=1_000,
+    janus.delete_many(rng.choice(table.live_tids(), size=n // 50,
                                  replace=False))
     result = janus.query(query)
     truth = table.ground_truth(query)
-    print(f"\nafter 5000 inserts and 1000 deletes:")
+    print(f"\nafter {n // 10} inserts and {n // 50} deletes:")
     print(f"  estimate = {result.estimate:,.1f}   "
           f"truth = {truth:,.1f}   "
           f"(rel. error {abs(result.estimate - truth) / truth:.2%})")
@@ -70,6 +74,22 @@ def main() -> None:
     report = janus.reoptimize()
     print(f"\nre-optimized in {report.total_seconds:.3f} s "
           f"({janus.dpt.k} leaves, pool={janus.pool_size})")
+
+    # 7. Scale out: the same template across 4 shards.  Each shard is an
+    #    independent synopsis over a disjoint slice of the rows; queries
+    #    fan out and merge with statistically correct combination rules
+    #    (docs/ARCHITECTURE.md#sharding).
+    with ShardedJanusAQP(ds.schema, "trip_distance", ("pickup_time",),
+                         n_shards=4,
+                         config=JanusConfig(k=16, sample_rate=0.02,
+                                            seed=0)) as sharded:
+        sharded.insert_many(ds.data[: n // 2])
+        sharded.initialize()
+        result = sharded.query(query)
+        lo, hi = result.ci()
+        print(f"\nsharded (4 shards, {len(sharded):,} rows): "
+              f"SUM estimate = {result.estimate:,.1f}   "
+              f"95% CI [{lo:,.1f}, {hi:,.1f}]")
 
 
 if __name__ == "__main__":

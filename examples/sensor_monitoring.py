@@ -7,7 +7,10 @@ windows.  This example shows the two multi-template designs of Section
 1), and the single-tree heuristic with a uniform-sampling fallback
 (method 2).
 
-Run:  python examples/sensor_monitoring.py
+Run:  PYTHONPATH=src python examples/sensor_monitoring.py
+
+``main(n=...)`` accepts a reduced row count so the smoke test
+(``tests/test_examples.py``) can execute the identical code cheaply.
 """
 
 import math
@@ -25,10 +28,12 @@ def relative_error(estimate: float, truth: float) -> str:
     return f"{abs(estimate - truth) / abs(truth):.2%}"
 
 
-def main() -> None:
-    ds = intel_wireless(n=40_000, seed=5)
+def main(n: int = 40_000) -> None:
+    ds = intel_wireless(n=n, seed=5)
+    n_seed = 3 * n // 4
+    n_stream = n // 10
     table = Table(ds.schema, capacity=ds.n + 16)
-    table.insert_many(ds.data[:30_000])
+    table.insert_many(ds.data[:n_seed])
     config = JanusConfig(k=64, sample_rate=0.02, catchup_rate=0.10,
                          check_every=10 ** 9, seed=0)
 
@@ -55,11 +60,11 @@ def main() -> None:
 
     # New readings flow once into the shared table; every template's
     # tree updates.
-    for row in ds.data[30_000:34_000]:
+    for row in ds.data[n_seed:n_seed + n_stream]:
         manager.insert(row)
     r = manager.query(q_light)
     t = table.ground_truth(q_light)
-    print(f"  after 4000 new readings: AVG(light) estimate "
+    print(f"  after {n_stream} new readings: AVG(light) estimate "
           f"{r.estimate:.2f} truth {t:.2f} "
           f"(err {relative_error(r.estimate, t)})")
 
@@ -67,7 +72,7 @@ def main() -> None:
     # Method 2: one tree, heuristic routing for everything else.
     # ---------------------------------------------------------------- #
     table2 = Table(ds.schema, capacity=ds.n + 16)
-    table2.insert_many(ds.data[:34_000])
+    table2.insert_many(ds.data[:n_seed + n_stream])
     base = JanusAQP(table2, "light", ("time",), config=config)
     base.initialize()
     router = HeuristicRouter(base)

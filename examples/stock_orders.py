@@ -7,7 +7,10 @@ interface.  This example drives that workload end to end through the
 broker-based request stream and compares the synopsis latency against
 exact evaluation.
 
-Run:  python examples/stock_orders.py
+Run:  PYTHONPATH=src python examples/stock_orders.py
+
+``main(n=...)`` accepts a reduced row count so the smoke test
+(``tests/test_examples.py``) can execute the identical code cheaply.
 """
 
 import time
@@ -19,10 +22,10 @@ from repro.datasets import nasdaq_etf
 from repro.datasets.workload import generate_workload
 
 
-def main() -> None:
-    ds = nasdaq_etf(n=60_000, seed=3)
+def main(n: int = 60_000) -> None:
+    ds = nasdaq_etf(n=n, seed=3)
     table = Table(ds.schema, capacity=ds.n + 16)
-    table.insert_many(ds.data[:30_000])
+    table.insert_many(ds.data[:n // 2])
 
     config = JanusConfig(k=64, sample_rate=0.02, catchup_rate=0.10,
                          beta=10.0, check_every=512, seed=1)
@@ -38,7 +41,7 @@ def main() -> None:
     pending: list = []
     n_inserted = n_canceled = 0
     t0 = time.perf_counter()
-    for row in ds.data[30_000:55_000]:
+    for row in ds.data[n // 2: n - n // 12]:
         tid = janus.insert(row)
         pending.append(tid)
         n_inserted += 1
@@ -55,7 +58,8 @@ def main() -> None:
     # --- the low-latency SQL interface ----------------------------------
     # SELECT SUM(volume) FROM orders WHERE date BETWEEN lo AND hi
     queries = generate_workload(table, AggFunc.SUM, "volume", ("date",),
-                                n_queries=200, seed=11, min_count=50,
+                                n_queries=min(200, n // 300), seed=11,
+                                min_count=min(50, n // 1200),
                                 endpoints="data")
     t0 = time.perf_counter()
     estimates = [janus.query(q).estimate for q in queries]

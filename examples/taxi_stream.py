@@ -6,7 +6,10 @@ StreamDriver applies them in arrival order and publishes query results.
 This example also exercises the multi-threaded re-initialization
 pipeline of Figure 4 while the stream keeps flowing.
 
-Run:  python examples/taxi_stream.py
+Run:  PYTHONPATH=src python examples/taxi_stream.py
+
+``main(n=...)`` accepts a reduced row count so the smoke test
+(``tests/test_examples.py``) can execute the identical code cheaply.
 """
 
 import math
@@ -20,10 +23,12 @@ from repro.core.stream import StreamClient, StreamDriver
 from repro.datasets import nyc_taxi
 
 
-def main() -> None:
-    ds = nyc_taxi(n=60_000, seed=11)
+def main(n: int = 60_000) -> None:
+    ds = nyc_taxi(n=n, seed=11)
+    n_seed = n // 3
+    burst = n // 30
     table = Table(ds.schema, capacity=ds.n + 16)
-    table.insert_many(ds.data[:20_000])
+    table.insert_many(ds.data[:n_seed])
 
     config = JanusConfig(k=64, sample_rate=0.02, catchup_rate=0.10,
                          check_every=10 ** 9, seed=0)
@@ -39,15 +44,15 @@ def main() -> None:
     rng = np.random.default_rng(3)
     pending = []
     query_ids = []
-    cursor = 20_000
+    cursor = n_seed
     lo, hi = table.domain("pickup_time")
     for hour in range(10):
-        burst = ds.data[cursor:cursor + 2_000]
-        cursor += 2_000
-        for row in burst:
+        rows = ds.data[cursor:cursor + burst]
+        cursor += burst
+        for row in rows:
             pending.append(client.insert(row))
         # ~3% of trips get voided out-of-band (fraud checks, disputes)
-        for _ in range(60):
+        for _ in range(max(1, burst * 3 // 100)):
             if pending:
                 client.delete(pending.pop(int(rng.integers(len(pending)))))
         # the dashboard asks for the last-six-hours trip volume
@@ -73,7 +78,7 @@ def main() -> None:
     thread = janus.reoptimize_async()
     served = 0
     t0 = time.perf_counter()
-    while thread.is_alive() and cursor < 60_000:
+    while thread.is_alive() and cursor < n:
         for row in ds.data[cursor:cursor + 200]:
             client.insert(row)
         cursor += 200

@@ -9,9 +9,9 @@ objects with confidence intervals.  See ``examples/quickstart.py``.
 from .core import (AggFunc, CatchupReport, CatchupRunner, DPTNode,
                    DynamicPartitionTree, HeuristicRouter, JanusAQP,
                    JanusConfig, Query, QueryResult, Rectangle, ReoptReport,
-                   RepartitionTrigger, StaticPartitionTree, SynopsisManager,
-                   Table, TriggerConfig, build_spt, relative_error,
-                   table_from_array)
+                   RepartitionTrigger, ShardedJanusAQP, StaticPartitionTree,
+                   SynopsisManager, Table, TriggerConfig, build_spt,
+                   relative_error, table_from_array)
 from .baselines import (DeepDBBaseline, ReservoirBaseline,
                         StratifiedReservoirBaseline)
 
@@ -21,7 +21,8 @@ __all__ = [
     "AggFunc", "CatchupReport", "CatchupRunner", "DPTNode",
     "DynamicPartitionTree", "HeuristicRouter", "JanusAQP", "JanusConfig",
     "Query", "QueryResult", "Rectangle", "ReoptReport",
-    "RepartitionTrigger", "StaticPartitionTree", "SynopsisManager",
+    "RepartitionTrigger", "ShardedJanusAQP", "StaticPartitionTree",
+    "SynopsisManager",
     "Table", "TriggerConfig", "build_spt", "relative_error",
     "table_from_array", "DeepDBBaseline", "ReservoirBaseline",
     "StratifiedReservoirBaseline", "__version__",

@@ -59,6 +59,7 @@ class Topic:
 
     @property
     def end_offset(self) -> int:
+        """Offset one past the last record (the next produce offset)."""
         with self._lock:
             return len(self._records)
 
@@ -78,12 +79,14 @@ class Broker:
         self._lock = threading.Lock()
 
     def topic(self, name: str) -> Topic:
+        """The named topic, created on first access."""
         with self._lock:
             if name not in self._topics:
                 self._topics[name] = Topic(name)
             return self._topics[name]
 
     def topics(self) -> List[str]:
+        """Names of every topic created so far."""
         with self._lock:
             return list(self._topics)
 
@@ -96,15 +99,18 @@ class Consumer:
         self.offset = offset
 
     def seek(self, offset: int) -> None:
+        """Move the cursor to an absolute offset."""
         self.offset = offset
 
     def poll(self, max_records: int) -> List[str]:
+        """Consume up to ``max_records`` records, advancing the cursor."""
         batch = self.topic.poll(self.offset, max_records)
         self.offset += len(batch)
         return batch
 
     @property
     def lag(self) -> int:
+        """Records produced but not yet consumed by this cursor."""
         return max(0, self.topic.end_offset - self.offset)
 
 
@@ -112,12 +118,15 @@ class Consumer:
 # record (de)serialization - deliberately string-based, see module doc
 # ---------------------------------------------------------------------- #
 def encode_row(values: Sequence[float]) -> str:
+    """Serialize one row as a lossless CSV record (``repr`` floats)."""
     return ",".join(repr(float(v)) for v in values)
 
 def decode_row(record: str) -> List[float]:
+    """Parse one CSV record back into its float values."""
     return [float(tok) for tok in record.split(",")]
 
 def encode_rows(rows: np.ndarray) -> List[str]:
+    """Serialize an ``(n, n_attrs)`` block, one record per row."""
     return [encode_row(row) for row in np.asarray(rows, dtype=np.float64)]
 
 def decode_rows(records: Sequence[str],

@@ -66,6 +66,7 @@ class QueryResponse:
 
     @property
     def variance(self) -> float:
+        """Total estimator variance ``nu_c + nu_s``."""
         return self.variance_catchup + self.variance_sample
 
 
@@ -73,6 +74,7 @@ Request = Union[InsertRequest, DeleteRequest, QueryRequest]
 
 
 def encode_insert(key: int, values: Sequence[float]) -> str:
+    """Serialize one insert request under a client-side key."""
     nums = _NUM_SEP.join(repr(float(v)) for v in values)
     return f"I{_FIELD_SEP}{key}{_FIELD_SEP}{nums}"
 
@@ -91,10 +93,12 @@ def encode_inserts(start_key: int,
 
 
 def encode_delete(key: int) -> str:
+    """Serialize a delete of the tuple inserted under ``key``."""
     return f"D{_FIELD_SEP}{key}"
 
 
 def encode_query(query_id: int, query: Query) -> str:
+    """Serialize one execute request (aggregate + rectangle)."""
     parts = [
         "Q", str(query_id), query.agg.value, query.attr,
         _NUM_SEP.join(query.predicate_attrs),

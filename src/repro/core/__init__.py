@@ -14,6 +14,9 @@ from .repartition import (PartialRepartitionReport, ancestor_at,
                           auto_partial_repartition, partial_repartition)
 from .stream import StreamClient, StreamDriver, StreamStats
 from .templates import HeuristicRouter, SynopsisManager
+from .merge import (merge_additive, merge_avg, merge_minmax,
+                    merge_moments, merge_results)
+from .sharded import ShardedJanusAQP
 
 __all__ = [
     "AggFunc", "Query", "QueryResult", "Rectangle", "relative_error",
@@ -23,5 +26,7 @@ __all__ = [
     "TriggerConfig", "JanusAQP", "JanusConfig", "ReoptReport",
     "HeuristicRouter", "SynopsisManager", "PartialRepartitionReport",
     "ancestor_at", "auto_partial_repartition", "partial_repartition",
-    "StreamClient", "StreamDriver", "StreamStats", "SharedPoolSynopses", "load_synopsis", "save_synopsis",
+    "StreamClient", "StreamDriver", "StreamStats", "SharedPoolSynopses",
+    "load_synopsis", "save_synopsis", "ShardedJanusAQP", "merge_additive",
+    "merge_avg", "merge_minmax", "merge_moments", "merge_results",
 ]

@@ -840,9 +840,12 @@ class DynamicPartitionTree:
             n_q += memo.count(node)
         for leaf in partial:
             n_q += memo.count(leaf)
+        # The normalizer rides along in ``details`` so shard merging can
+        # reweight per-shard means into the union estimator (merge.py).
         if n_q <= 0:
             return QueryResult(math.nan, 0.0, 0.0, False,
-                               n_covered=len(cover), n_partial=len(partial))
+                               n_covered=len(cover), n_partial=len(partial),
+                               details={"n_q": n_q})
         est = 0.0
         var_c = 0.0
         all_exact = True
@@ -860,7 +863,8 @@ class DynamicPartitionTree:
             var_s += c_var
         exact = all_exact and not partial
         return QueryResult(est, var_c, var_s, exact,
-                           n_covered=len(cover), n_partial=len(partial))
+                           n_covered=len(cover), n_partial=len(partial),
+                           details={"n_q": n_q})
 
     def _answer_variance(self, query: Query, cover: List[DPTNode],
                          partial: List[DPTNode], moments_of: "MomentsFn",
@@ -893,11 +897,15 @@ class DynamicPartitionTree:
             count_est += count
             sum_est += total
             sumsq_est += totalsq
+        # Plug-in moments ride along in ``details`` so shard merging can
+        # re-compose the union's VARIANCE/STDDEV exactly (merge.py).
+        moments = (count_est, sum_est, sumsq_est)
         if count_est <= 0:
             return QueryResult(math.nan, 0.0, 0.0, False,
                                n_covered=len(cover),
                                n_partial=len(partial),
-                               details={"ci": "unavailable"})
+                               details={"ci": "unavailable",
+                                        "moments": moments})
         mean = sum_est / count_est
         variance = max(0.0, sumsq_est / count_est - mean * mean)
         est = variance if query.agg is AggFunc.VARIANCE else \
@@ -905,7 +913,8 @@ class DynamicPartitionTree:
         exact = all_exact and not partial
         return QueryResult(est, 0.0, 0.0, exact,
                            n_covered=len(cover), n_partial=len(partial),
-                           details={"ci": "unavailable"})
+                           details={"ci": "unavailable",
+                                    "moments": moments})
 
     def _answer_minmax(self, query: Query, cover: List[DPTNode],
                        partial: List[DPTNode], moments_of: "MomentsFn",

@@ -118,6 +118,7 @@ class ReoptReport:
 
     @property
     def total_seconds(self) -> float:
+        """End-to-end wall time across all re-initialization phases."""
         return (self.optimize_seconds + self.blocking_seconds +
                 self.catchup.total_seconds)
 
@@ -677,6 +678,7 @@ class JanusAQP:
     # ------------------------------------------------------------------ #
     @property
     def pool_size(self) -> int:
+        """Current pooled-sample size (the paper's ``|S|``)."""
         return len(self.reservoir)
 
     def storage_cost_bytes(self) -> int:

@@ -63,6 +63,7 @@ class Rectangle:
 
     @property
     def dim(self) -> int:
+        """Number of dimensions the rectangle constrains."""
         return len(self.lo)
 
     @staticmethod
@@ -78,6 +79,7 @@ class Rectangle:
         return Rectangle(los, his)
 
     def contains_point(self, point: Sequence[float]) -> bool:
+        """True when the point lies inside (intervals are closed)."""
         return all(a <= x <= b for a, x, b in zip(self.lo, point, self.hi))
 
     def contains_points(self, points) -> np.ndarray:
@@ -112,6 +114,7 @@ class Rectangle:
                    zip(self.lo, self.hi, other.lo, other.hi))
 
     def intersects(self, other: "Rectangle") -> bool:
+        """True when the rectangles share at least one point."""
         return all(a <= d and c <= b
                    for a, b, c, d in
                    zip(self.lo, self.hi, other.lo, other.hi))
@@ -144,6 +147,7 @@ class Rectangle:
                 Rectangle(tuple(right_lo), self.hi))
 
     def widths(self) -> Tuple[float, ...]:
+        """Per-dimension side lengths ``hi_j - lo_j``."""
         return tuple(b - a for a, b in zip(self.lo, self.hi))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -196,6 +200,7 @@ class QueryResult:
 
     @property
     def variance(self) -> float:
+        """Total estimator variance ``nu_c + nu_s``."""
         return self.variance_catchup + self.variance_sample
 
     def ci(self, z: float = 1.96) -> Tuple[float, float]:
@@ -204,6 +209,7 @@ class QueryResult:
         return (self.estimate - half, self.estimate + half)
 
     def ci_halfwidth(self, z: float = 1.96) -> float:
+        """Half-width of :meth:`ci` at confidence level ``z``."""
         return z * math.sqrt(max(self.variance, 0.0))
 
 
@@ -221,4 +227,5 @@ def relative_error(estimate: float, truth: float) -> float:
 
 def queries_relative_errors(estimates: Iterable[float],
                             truths: Iterable[float]) -> list:
+    """Element-wise :func:`relative_error` over a workload."""
     return [relative_error(e, t) for e, t in zip(estimates, truths)]

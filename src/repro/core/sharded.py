@@ -1,0 +1,505 @@
+"""Horizontally sharded synopsis engine.
+
+:class:`ShardedJanusAQP` scales JanusAQP past one partition tree: tids
+are hash- or range-sharded across N independent
+:class:`~repro.core.janus.JanusAQP` synopses over disjoint row sets, and
+every operation fans out per shard:
+
+* **ingestion** - :meth:`ShardedJanusAQP.insert_many` splits the row
+  block by shard placement and pushes each slice through that shard's
+  batched ingest under the shard's own lock;
+* **queries** - :meth:`ShardedJanusAQP.query_many` sends the whole batch
+  to every shard's batched query engine and combines the per-shard
+  answers with the statistically correct rules of
+  :mod:`repro.core.merge` (SUM/COUNT add estimates and variances, AVG
+  recombines from partial moments, MIN/MAX take the extremal estimate
+  with conservative exactness);
+* **re-initialization** - :meth:`ShardedJanusAQP.reoptimize` staggers
+  the per-shard rebuilds so at most one shard is re-partitioning at any
+  time while the others stay query-ready - the paper's availability
+  argument (Figure 4), load-balanced across the fleet;
+* **rebalancing** - :meth:`ShardedJanusAQP.rebalance_range` moves a tid
+  range between shards through the ordinary ``delete_many`` +
+  ``insert_many`` path (global tids are stable across moves) and then
+  runs the destination's catch-up pipeline so its synopsis re-converges.
+
+Fan-out uses a thread pool: each shard's hot path is numpy under a
+per-shard lock and releases the GIL inside the array kernels, so
+multi-core hosts overlap shard work, while the coordinator itself holds
+no global lock on the data path.  Shards are seeded with distinct RNG
+streams (``config.seed + shard id``) so their sample pools are
+independent.
+
+Because the shards partition the population, the merged estimates are
+unbiased whenever the per-shard estimates are, and the combined
+variance is the sum of per-shard variances under the matching weights -
+see :mod:`repro.core.merge` for the per-aggregate arguments.
+``tests/test_sharded.py`` pins equivalence against a single-instance
+engine fed the identical stream.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import math
+
+import numpy as np
+
+from .janus import JanusAQP, JanusConfig, ReoptReport
+from .merge import merge_results
+from .queries import AggFunc, Query, QueryResult
+from .table import Table
+
+
+class _ShardedTableView:
+    """Read-only cross-shard table facade.
+
+    Presents the union of the shard tables under *global* tids, exposing
+    exactly the surface the stream driver and the benchmark harness use:
+    liveness (``tid in view``), live row count, schema, domains and
+    ground truth.  Mutations must go through the coordinator so the
+    tid maps stay consistent.
+    """
+
+    def __init__(self, owner: "ShardedJanusAQP") -> None:
+        self._owner = owner
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return self._owner.schema
+
+    def __contains__(self, tid: int) -> bool:
+        t = int(tid)
+        shard_of = self._owner._shard_of
+        return 0 <= t < shard_of.shape[0] and shard_of[t] >= 0
+
+    def __len__(self) -> int:
+        return len(self._owner)
+
+    def domain(self, attr: str) -> Tuple[float, float]:
+        lo = math.inf
+        hi = -math.inf
+        for table in self._owner.tables:
+            if len(table) == 0:
+                continue
+            a, b = table.domain(attr)
+            lo, hi = min(lo, a), max(hi, b)
+        if lo > hi:
+            return (0.0, 0.0)
+        return (lo, hi)
+
+    def ground_truth(self, query: Query) -> float:
+        return self._owner.ground_truth(query)
+
+    def ground_truths(self, queries: Sequence[Query]) -> List[float]:
+        return [self._owner.ground_truth(q) for q in queries]
+
+
+class ShardedJanusAQP:
+    """A coordinator over N disjoint JanusAQP shards.
+
+    Parameters
+    ----------
+    schema:
+        Attribute names; every shard's table shares it.
+    agg_attr, predicate_attrs, stat_attrs:
+        The query template, as in :class:`~repro.core.janus.JanusAQP`.
+    n_shards:
+        Number of independent synopses.
+    config:
+        Per-shard construction knobs.  Each shard receives a copy with
+        ``seed + shard id`` so the sample pools are independent; size
+        knobs (``k``, ``sample_rate``) are per shard, so the fleet's
+        total synopsis budget is ``n_shards`` times the per-shard one.
+    sharding:
+        ``"hash"`` places tid t on shard ``t % n_shards`` (fine-grained
+        round-robin, balanced under any workload); ``"range"`` stripes
+        contiguous blocks of ``range_block`` tids (placement-local, the
+        natural unit for :meth:`rebalance_range`).
+    max_workers:
+        Thread-pool width for the fan-out (default: ``n_shards``).
+    """
+
+    def __init__(self, schema: Sequence[str], agg_attr: str,
+                 predicate_attrs: Sequence[str], n_shards: int = 2,
+                 config: Optional[JanusConfig] = None,
+                 stat_attrs: Optional[Sequence[str]] = None,
+                 sharding: str = "hash", range_block: int = 8192,
+                 max_workers: Optional[int] = None) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if sharding not in ("hash", "range"):
+            raise ValueError(f"unknown sharding mode {sharding!r}")
+        self.schema = tuple(schema)
+        self.agg_attr = agg_attr
+        self.predicate_attrs = tuple(predicate_attrs)
+        self.n_shards = int(n_shards)
+        self.config = config or JanusConfig()
+        self.sharding = sharding
+        self.range_block = int(range_block)
+        self.tables: List[Table] = []
+        self.shards: List[JanusAQP] = []
+        for s in range(self.n_shards):
+            table = Table(self.schema)
+            self.tables.append(table)
+            self.shards.append(JanusAQP(
+                table, agg_attr, predicate_attrs,
+                config=replace(self.config, seed=self.config.seed + s),
+                stat_attrs=stat_attrs))
+        self._shard_of = np.full(64, -1, dtype=np.int64)
+        self._local_tid = np.zeros(64, dtype=np.int64)
+        self._next_tid = 0
+        self._map_lock = threading.Lock()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._max_workers = max_workers or self.n_shards
+        self.table = _ShardedTableView(self)
+
+    # ------------------------------------------------------------------ #
+    # fan-out machinery
+    # ------------------------------------------------------------------ #
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="janus-shard")
+        return self._pool
+
+    def _fan_out(self, fn: Callable[[int], object],
+                 shard_ids: Sequence[int]) -> List[object]:
+        """Run ``fn(shard_id)`` per shard, in parallel, results in order."""
+        shard_ids = list(shard_ids)
+        if len(shard_ids) <= 1:
+            return [fn(s) for s in shard_ids]
+        futures = [self._executor().submit(fn, s) for s in shard_ids]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedJanusAQP":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # placement and tid maps
+    # ------------------------------------------------------------------ #
+    def _place(self, tids: np.ndarray) -> np.ndarray:
+        """Initial shard placement for new global tids (vectorized)."""
+        if self.sharding == "hash":
+            return tids % self.n_shards
+        return (tids // self.range_block) % self.n_shards
+
+    def _ensure_tid_capacity(self, need: int) -> None:
+        cap = self._shard_of.shape[0]
+        if need <= cap:
+            return
+        new_cap = max(need, 2 * cap)
+        shard_of = np.full(new_cap, -1, dtype=np.int64)
+        shard_of[:cap] = self._shard_of
+        local = np.zeros(new_cap, dtype=np.int64)
+        local[:cap] = self._local_tid
+        self._shard_of, self._local_tid = shard_of, local
+
+    def shard_of(self, tid: int) -> int:
+        """The shard currently holding a live global tid."""
+        t = int(tid)
+        if 0 <= t < self._shard_of.shape[0] and self._shard_of[t] >= 0:
+            return int(self._shard_of[t])
+        raise KeyError(f"tid {tid} is not live")
+
+    def shard_sizes(self) -> List[int]:
+        """Live row count per shard."""
+        return [len(t) for t in self.tables]
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self.tables)
+
+    @property
+    def pool_size(self) -> int:
+        """Total pooled-sample size across shards."""
+        return sum(s.pool_size for s in self.shards)
+
+    def storage_cost_bytes(self) -> int:
+        """Summed synopsis footprint of the fleet."""
+        return sum(s.storage_cost_bytes() for s in self.shards)
+
+    # ------------------------------------------------------------------ #
+    # construction / re-initialization
+    # ------------------------------------------------------------------ #
+    def initialize(self) -> List[Optional[ReoptReport]]:
+        """Build every non-empty shard's first synopsis.
+
+        Shards a previous insert batch already brought up lazily are
+        left as they are (their first build happened then, staggered),
+        so the documented ``insert_many(seed); initialize()`` flow pays
+        one synopsis build per shard, not two.  Empty shards stay
+        uninitialized (there is nothing to partition) and come up
+        lazily on their first insert batch.
+        """
+        return self._fan_out(self._init_shard, range(self.n_shards))
+
+    def _init_shard(self, s: int) -> Optional[ReoptReport]:
+        if self.shards[s].dpt is not None:
+            return self.shards[s].last_reopt    # lazily built already
+        if len(self.tables[s]) == 0:
+            return None
+        report = self.shards[s].initialize()
+        self._stagger_trigger(s)
+        return report
+
+    def _stagger_trigger(self, s: int) -> None:
+        """Phase-offset shard ``s``'s forced-repartition counter.
+
+        Under balanced placement every shard crosses a shared
+        ``repartition_every`` threshold in the *same* ingest batch, so
+        all N rebuilds would land on one request - the worst-case stall
+        of a single instance, just split N ways.  Setting shard s's
+        update counter to ``s/N`` of the period right after its first
+        build spreads the first firing across the period; afterwards
+        each shard re-fires every R local updates and the offsets
+        persist, so at most one shard is rebuilding at a time and the
+        fleet's worst-case stall drops to one *shard-sized*
+        re-initialization.  Runs on every path that first builds a
+        shard (eager initialize, lazy ingest build, rebalance into an
+        empty shard).
+        """
+        period = self.config.repartition_every
+        trigger = self.shards[s].trigger
+        if not period or trigger is None:
+            return
+        trigger.state.updates_since_repartition = \
+            s * int(period) // self.n_shards
+
+    def reoptimize(self) -> List[Optional[ReoptReport]]:
+        """Staggered re-initialization: one shard rebuilds at a time.
+
+        Each shard's :meth:`~repro.core.janus.JanusAQP.reoptimize` runs
+        under that shard's own lock only, so while shard i rebuilds the
+        other N-1 shards keep answering queries and absorbing updates -
+        at no point is the whole fleet blocked, and the blocking window
+        per shard covers 1/N of the data instead of all of it.
+        """
+        reports: List[Optional[ReoptReport]] = []
+        for s in range(self.n_shards):
+            if self.shards[s].dpt is None:
+                reports.append(None)
+                continue
+            reports.append(self.shards[s].reoptimize())
+        return reports
+
+    def reoptimize_async(self) -> threading.Thread:
+        """Run the staggered re-initialization in a background thread."""
+        thread = threading.Thread(target=self.reoptimize, daemon=True,
+                                  name="janus-sharded-reoptimize")
+        thread.start()
+        return thread
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def insert(self, values: Sequence[float]) -> int:
+        """Insert one row; returns its global tid."""
+        return self.insert_many(
+            np.asarray(values, dtype=np.float64)[None, :])[0]
+
+    def insert_many(self, rows: np.ndarray) -> List[int]:
+        """Bulk insert: one placement pass, one fan-out, global tids back.
+
+        The block is split by shard placement and each slice flows
+        through its shard's fully vectorized
+        :meth:`~repro.core.janus.JanusAQP.insert_many`; a shard seeing
+        its first rows initializes itself on the spot.  Returns the
+        assigned global tids in row order.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.size == 0:
+            return []
+        if rows.ndim != 2:
+            raise ValueError("rows must be a 2-D (n, n_attrs) array")
+        n = rows.shape[0]
+        with self._map_lock:
+            tids = np.arange(self._next_tid, self._next_tid + n,
+                             dtype=np.int64)
+            self._next_tid += n
+            self._ensure_tid_capacity(self._next_tid)
+            placement = self._place(tids)
+
+        def ingest(s: int) -> Tuple[np.ndarray, List[int]]:
+            sel = np.flatnonzero(placement == s)
+            local = self.shards[s].insert_many(rows[sel])
+            if self.shards[s].dpt is None:
+                self.shards[s].initialize()
+                self._stagger_trigger(s)
+            return sel, local
+
+        touched = np.unique(placement)
+        results = self._fan_out(ingest, touched.tolist())
+        with self._map_lock:
+            for (sel, local) in results:
+                g = tids[sel]
+                self._shard_of[g] = placement[sel]
+                self._local_tid[g] = local
+        return tids.tolist()
+
+    def delete(self, tid: int) -> None:
+        """Delete one live row by global tid."""
+        self.delete_many((tid,))
+
+    def delete_many(self, tids: Sequence[int]) -> None:
+        """Bulk delete by global tid, fanned out per shard.
+
+        Mirrors :meth:`~repro.core.janus.JanusAQP.delete_many`: a dead
+        or duplicated tid raises ``KeyError`` before any shard is
+        touched, so the fleet never ends up half-deleted.
+        """
+        tid_arr = np.asarray(tids if isinstance(tids, np.ndarray)
+                             else [int(t) for t in tids], dtype=np.int64)
+        if tid_arr.size == 0:
+            return
+        with self._map_lock:
+            bad = (tid_arr < 0) | (tid_arr >= self._shard_of.shape[0])
+            if not bad.any():
+                owners = self._shard_of[tid_arr]
+                bad = owners < 0
+            if bad.any():
+                raise KeyError(
+                    f"tid {int(tid_arr[np.argmax(bad)])} is not live")
+            if np.unique(tid_arr).size != tid_arr.size:
+                raise KeyError("duplicate tid in delete batch")
+            locals_ = self._local_tid[tid_arr]
+            self._shard_of[tid_arr] = -1
+
+        def drop(s: int) -> None:
+            sel = owners == s
+            self.shards[s].delete_many(locals_[sel])
+
+        self._fan_out(drop, np.unique(owners).tolist())
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(self, query: Query) -> QueryResult:
+        """Answer one query from the fleet (no base-table access)."""
+        return self.query_many((query,))[0]
+
+    def query_many(self, queries: Sequence[Query]) -> List[QueryResult]:
+        """Answer a query batch: one shard fan-out, one merge per query.
+
+        Every initialized shard answers the whole batch through its
+        batched engine (one lock round-trip and one shared frontier
+        traversal per shard); per-shard answers are then combined with
+        :func:`repro.core.merge.merge_results`.  Shards that never held
+        a row are skipped and treated as provably empty.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        live = [s for s in range(self.n_shards)
+                if self.shards[s].dpt is not None]
+        if not live:
+            raise RuntimeError("synopsis not initialized")
+        per_shard = self._fan_out(
+            lambda s: self.shards[s].query_many(queries), live)
+        empty_ok = [len(self.tables[s]) == 0 for s in live]
+        return [merge_results(q, [shard_res[qi]
+                                  for shard_res in per_shard], empty_ok)
+                for qi, q in enumerate(queries)]
+
+    # ------------------------------------------------------------------ #
+    # rebalancing
+    # ------------------------------------------------------------------ #
+    def rebalance_range(self, lo_tid: int, hi_tid: int, dst: int,
+                        reoptimize_dst: bool = True) -> int:
+        """Move every live tid in ``[lo_tid, hi_tid)`` onto shard ``dst``.
+
+        The move is an ordinary ``delete_many`` on each source shard
+        followed by one ``insert_many`` on the destination - both ends
+        keep their synopses consistent through the standard exact-delta
+        maintenance, so the fleet stays query-correct at every point.
+        Global tids are stable across the move (only the private local
+        tids change).  With ``reoptimize_dst`` (default) the destination
+        runs its full re-initialization pipeline afterwards - partition
+        re-optimization, pool resample and background catch-up - so its
+        tree re-converges to the post-move data distribution.
+
+        Returns the number of rows moved.
+        """
+        if not (0 <= dst < self.n_shards):
+            raise ValueError(f"destination shard {dst} does not exist")
+        # The whole move holds the coordinator map lock: the routing
+        # tables must not change between reading who owns a tid and
+        # rewriting that ownership, or a concurrent delete would turn
+        # the gathered owner/local arrays stale mid-move.  Data-path
+        # operations only hold this lock briefly around their own map
+        # reads/writes (never while waiting on a shard), so there is no
+        # lock-order cycle - concurrent mutations simply queue behind
+        # the move.
+        with self._map_lock:
+            span = np.arange(max(0, int(lo_tid)),
+                             min(int(hi_tid), self._shard_of.shape[0]),
+                             dtype=np.int64)
+            owners = self._shard_of[span] if span.size else span
+            moving = span[(owners >= 0) & (owners != dst)] \
+                if span.size else span
+            if moving.size == 0:
+                return 0
+            # Gather rows in global-tid order, then replay them as one
+            # insert batch on the destination.
+            owners = owners[(owners >= 0) & (owners != dst)]
+            rows = np.empty((moving.size, len(self.schema)))
+            for s in np.unique(owners):
+                sel = np.flatnonzero(owners == s)
+                local = self._local_tid[moving[sel]]
+                rows[sel] = self.tables[int(s)].rows_for(local)
+                self.shards[int(s)].delete_many(local)
+            new_local = self.shards[dst].insert_many(rows)
+            if self.shards[dst].dpt is None:
+                self.shards[dst].initialize()
+                self._stagger_trigger(dst)
+            self._shard_of[moving] = dst
+            self._local_tid[moving] = new_local
+        if reoptimize_dst and self.shards[dst].dpt is not None:
+            self.shards[dst].reoptimize()
+        return int(moving.size)
+
+    # ------------------------------------------------------------------ #
+    # ground truth (benchmark/test harness only)
+    # ------------------------------------------------------------------ #
+    def ground_truth(self, query: Query) -> float:
+        """Exact answer over the union of the shard tables."""
+        counts = [t.ground_truth(query.with_agg(AggFunc.COUNT))
+                  for t in self.tables]
+        total = sum(counts)
+        if query.agg is AggFunc.COUNT:
+            return float(total)
+        if query.agg is AggFunc.SUM:
+            return float(sum(t.ground_truth(query) for t in self.tables))
+        live = [(t, c) for t, c in zip(self.tables, counts) if c > 0]
+        if not live:
+            return math.nan
+        if query.agg in (AggFunc.MIN, AggFunc.MAX):
+            vals = [t.ground_truth(query) for t, _ in live]
+            return float(max(vals) if query.agg is AggFunc.MAX
+                         else min(vals))
+        sums = [t.ground_truth(query.with_agg(AggFunc.SUM))
+                for t, _ in live]
+        mean = sum(sums) / total
+        if query.agg is AggFunc.AVG:
+            return float(mean)
+        # VARIANCE/STDDEV: recombine E[a^2] from per-shard variances.
+        sumsq = sum(c * (t.ground_truth(query.with_agg(AggFunc.VARIANCE))
+                         + (s / c) ** 2)
+                    for (t, c), s in zip(live, sums))
+        variance = max(0.0, sumsq / total - mean * mean)
+        if query.agg is AggFunc.VARIANCE:
+            return float(variance)
+        return float(math.sqrt(variance))

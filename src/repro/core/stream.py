@@ -1,11 +1,14 @@
 """Stream-driven request processing (Section 3.2, PSoup architecture).
 
 :class:`StreamDriver` connects a :class:`~repro.broker.broker.Broker`'s
-``insert`` / ``delete`` / ``execute`` topics to a :class:`JanusAQP`
-synopsis.  Clients produce serialized requests; the driver polls the
-topics, applies data requests in arrival order, answers queries against
-the state as of their arrival point, and publishes results to a
-``results`` topic.  Like Kafka, ordering is guaranteed within a topic;
+``insert`` / ``delete`` / ``execute`` topics to a synopsis engine -
+either a single :class:`JanusAQP` or, in shard-routing mode, a
+:class:`~repro.core.sharded.ShardedJanusAQP` coordinator, in which case
+every drained batch fans out across the shard fleet and the execute
+topic is answered with merged cross-shard estimates.  Clients produce
+serialized requests; the driver polls the topics, applies data requests
+in arrival order, answers queries against the state as of their arrival
+point, and publishes results to a ``results`` topic.  Like Kafka, ordering is guaranteed within a topic;
 the driver drains data topics before each query batch, which gives every
 query the "all data that has arrived until time point i" semantics the
 paper specifies.
@@ -25,7 +28,7 @@ produce.  :class:`StreamClient` offers matching bulk producers
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -36,6 +39,12 @@ from ..broker.requests import (DeleteRequest, InsertRequest, QueryRequest,
                                encode_query, encode_result)
 from .janus import JanusAQP
 from .queries import Query, QueryResult
+
+if TYPE_CHECKING:   # typing-only; avoids a load-order dependency
+    from .sharded import ShardedJanusAQP
+
+#: Anything the driver can feed: one synopsis or a shard coordinator.
+SynopsisEngine = Union[JanusAQP, "ShardedJanusAQP"]
 
 
 @dataclass
@@ -55,6 +64,11 @@ class StreamClient:
         self._next_query = 0
 
     def insert(self, values) -> int:
+        """Produce one insert record; returns its client key.
+
+        Keys, not tids, identify tuples on the wire: the driver assigns
+        tids server-side and owns the key-to-tid map.
+        """
         key = self._next_key
         self._next_key += 1
         self._broker.topic(Broker.INSERT).produce(
@@ -70,13 +84,16 @@ class StreamClient:
         return keys
 
     def delete(self, key: int) -> None:
+        """Produce a delete referencing a previous insert's client key."""
         self._broker.topic(Broker.DELETE).produce(encode_delete(key))
 
     def delete_many(self, keys) -> None:
+        """Produce one delete record per client key, in one bulk append."""
         self._broker.topic(Broker.DELETE).produce_many(
             encode_delete(int(k)) for k in keys)
 
     def execute(self, query) -> int:
+        """Produce one query record; returns its query id."""
         query_id = self._next_query
         self._next_query += 1
         self._broker.topic(Broker.EXECUTE).produce(
@@ -92,11 +109,20 @@ class StreamClient:
 
 
 class StreamDriver:
-    """Consumer side: applies the request stream to a synopsis."""
+    """Consumer side: applies the request stream to a synopsis engine.
+
+    ``janus`` may be a single :class:`JanusAQP` or a
+    :class:`~repro.core.sharded.ShardedJanusAQP` coordinator
+    (shard-routing mode): the driver speaks only the shared engine
+    surface - ``insert_many`` / ``delete_many`` / ``query_many``, the
+    per-row wrappers, and ``tid in engine.table`` liveness - so the same
+    event log drives one synopsis or a whole fleet unchanged
+    (``tests/test_sharded.py`` pins the sharded drain).
+    """
 
     RESULTS = "results"
 
-    def __init__(self, broker: Broker, janus: JanusAQP) -> None:
+    def __init__(self, broker: Broker, janus: SynopsisEngine) -> None:
         self.broker = broker
         self.janus = janus
         self._insert_consumer = Consumer(broker.topic(Broker.INSERT))

@@ -1,0 +1,70 @@
+"""Every example and README code block must run verbatim (ISSUE 4).
+
+The examples are executed through their ``main(n=...)`` entry points at
+reduced row counts - the identical code paths users copy, just cheaper -
+and every fenced ``python`` block in the README is executed as written
+(``PYTHONPATH=src`` is the documented invocation and matches the test
+environment), so documentation drift fails CI instead of rotting.
+"""
+
+import importlib.util
+import io
+import re
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name,n", [
+    ("quickstart", 6_000),
+    ("sensor_monitoring", 8_000),
+    ("stock_orders", 6_000),
+    ("taxi_stream", 6_000),
+])
+def test_example_runs_reduced(name, n):
+    module = load_example(name)
+    out = io.StringIO()
+    with redirect_stdout(out):
+        module.main(n=n)
+    assert out.getvalue().strip(), f"{name} produced no output"
+
+
+def python_blocks(path: Path):
+    text = path.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_code_blocks_execute():
+    blocks = python_blocks(REPO / "README.md")
+    assert blocks, "README should keep at least one python example"
+    namespace: dict = {}
+    for i, block in enumerate(blocks):
+        out = io.StringIO()
+        try:
+            with redirect_stdout(out):
+                # Blocks share one namespace so later snippets may build
+                # on the quickstart objects, exactly as a reader would.
+                exec(compile(block, f"README.md#block{i}", "exec"),
+                     namespace)
+        except Exception as exc:          # pragma: no cover - diagnostic
+            pytest.fail(f"README block {i} failed: {exc}\n{block}")
+
+
+def test_examples_have_reduced_n_entry_points():
+    for path in sorted(EXAMPLES.glob("*.py")):
+        source = path.read_text()
+        assert re.search(r"def main\(n: int = \d", source), \
+            f"{path.name} must expose main(n=...) for the smoke test"

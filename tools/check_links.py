@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Link-check markdown files: relative targets and heading anchors.
+
+Usage:  python tools/check_links.py README.md docs/*.md
+
+For every markdown link ``[text](target)``:
+
+* external targets (``http(s)://``, ``mailto:``) are skipped — CI must
+  stay hermetic;
+* relative targets must resolve to an existing file or directory,
+  relative to the file containing the link;
+* ``#anchor`` fragments must match a heading in the target file, using
+  GitHub's slugification (lowercase, punctuation stripped, spaces to
+  hyphens).
+
+Exits 1 with a per-link report when anything is broken.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> Set[str]:
+    text = CODE_FENCE_RE.sub("", path.read_text())
+    slugs: Set[str] = set()
+    for match in HEADING_RE.finditer(text):
+        slugs.add(slugify(match.group(1)))
+    return slugs
+
+
+def check_file(path: Path) -> List[str]:
+    errors: List[str] = []
+    text = CODE_FENCE_RE.sub("", path.read_text())
+    for match in LINK_RE.finditer(text):
+        target = match.group(0)[match.group(0).rindex("(") + 1:-1]
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}: broken link -> {target}")
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = path            # same-document anchor
+        if anchor:
+            if anchor_file.is_dir() or anchor_file.suffix != ".md":
+                errors.append(f"{path}: anchor on non-markdown -> "
+                              f"{target}")
+            elif slugify(anchor) not in heading_slugs(anchor_file):
+                errors.append(f"{path}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]")
+        return 2
+    errors: List[str] = []
+    n_checked = 0
+    for arg in argv:
+        path = Path(arg)
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        n_checked += 1
+        errors.extend(check_file(path))
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} broken link(s) across {n_checked} "
+              f"file(s)")
+        return 1
+    print(f"links ok across {n_checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
