@@ -1,0 +1,229 @@
+"""Service latency: the HTTP serving tier under concurrent clients.
+
+The ISSUE 5 acceptance benchmark for :mod:`repro.service`.  A
+:class:`~repro.core.sharded.ShardedJanusAQP` fleet is served by
+:class:`~repro.service.server.AQPServer` on an ephemeral port and
+driven by 1 / 8 / 64 concurrent keep-alive clients
+(:class:`~repro.service.client.ServiceClient`, one per thread), each
+issuing a stream drawn from a fixed pool of distinct SQL/structured
+queries.  Each concurrency level runs twice:
+
+* **cache disabled** - every request reaches the engine, measuring the
+  micro-batcher + ``query_many`` path itself.  The acceptance gate
+  lives here: at 64 clients the admission layer must demonstrably
+  group **>= 8** concurrent requests into one ``query_many`` call
+  (asserted in smoke mode too; grouping only improves on slower
+  runners).
+* **cache enabled** - the same streams with the epoch result cache on.
+  The hit ratio is *measured from the server's own counters* and the
+  workload's repeat structure is reported next to it
+  (``n_distinct_queries`` vs. queries issued), so the number is
+  honest: hits exist because the streams repeat, not by construction
+  of the metric.
+
+Per series the artifact records client-observed p50/p99 latency and
+aggregate QPS; correctness is gated by a quiescent bit-identity check
+of served answers against in-process ``query_many``.
+
+Emits ``BENCH_service_latency.json``.  Set ``JANUS_BENCH_SMOKE=1``
+(the CI default) for a reduced run that still writes the artifact and
+still asserts grouping and correctness; wall-clock numbers are
+recorded, never gated, since shared runners flake.
+"""
+
+import math
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from functools import lru_cache
+
+import numpy as np
+
+from conftest import emit, emit_json
+from repro.core.janus import JanusConfig
+from repro.core.queries import AggFunc, Query, Rectangle
+from repro.core.sharded import ShardedJanusAQP
+from repro.datasets import synthetic
+from repro.service import ServiceClient, serve_background
+
+SMOKE = os.environ.get("JANUS_BENCH_SMOKE", "") not in ("", "0")
+
+N_ROWS = 20_000 if SMOKE else 60_000
+N_SHARDS = 2
+K_LEAVES = 16 if SMOKE else 64
+RATE = 0.03
+N_DISTINCT = 48 if SMOKE else 128       # distinct queries in the pool
+PER_CLIENT = 24 if SMOKE else 96        # queries per client per series
+CLIENT_COUNTS = (1, 8, 64)
+MAX_BATCH = 64
+LINGER_MS = 2.0
+MIN_GROUPED = 8                         # ISSUE 5 acceptance floor
+QUERY_AGGS = (AggFunc.SUM, AggFunc.COUNT, AggFunc.AVG)
+
+
+@lru_cache(maxsize=None)
+def build_world():
+    ds = synthetic.load("nyc_taxi", n=N_ROWS, seed=0)
+    engine = ShardedJanusAQP(
+        ds.schema, ds.agg_attr, ds.predicate_attrs, n_shards=N_SHARDS,
+        config=JanusConfig(k=K_LEAVES, sample_rate=RATE,
+                           check_every=10 ** 9, seed=0))
+    engine.insert_many(ds.data)
+    engine.initialize()
+    return ds, engine
+
+
+def query_pool(ds):
+    rng = np.random.default_rng(1)
+    queries = []
+    for i in range(N_DISTINCT):
+        lo, hi = sorted(rng.uniform(0, 500, 2))
+        queries.append(Query(QUERY_AGGS[i % len(QUERY_AGGS)],
+                             ds.agg_attr, ds.predicate_attrs,
+                             Rectangle((float(lo),), (float(hi),))))
+    return queries
+
+
+def client_streams(pool, n_clients):
+    rng = np.random.default_rng(2 + n_clients)
+    return [[pool[j] for j in rng.integers(0, len(pool), PER_CLIENT)]
+            for _ in range(n_clients)]
+
+
+def drive_series(handle, pool, n_clients):
+    """One concurrency level: per-request latencies + server deltas."""
+    streams = client_streams(pool, n_clients)
+    barrier = threading.Barrier(n_clients)
+    stats0 = handle.server.batcher.stats
+    batches0, queries0 = stats0.n_batches, stats0.n_queries
+    stats0.max_batch_size = 0       # per-series high-water mark
+    cache0 = handle.server.cache.stats
+    hits0, misses0 = cache0.hits, cache0.misses
+
+    def run_client(stream):
+        latencies = []
+        with ServiceClient(handle.host, handle.port) as client:
+            barrier.wait(timeout=60)
+            for query in stream:
+                t0 = time.perf_counter()
+                client.query(query)
+                latencies.append(time.perf_counter() - t0)
+        return latencies
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=n_clients) as executor:
+        latency_runs = list(executor.map(run_client, streams))
+    wall = time.perf_counter() - t0
+
+    latencies = np.array([l for run in latency_runs for l in run])
+    stats = handle.server.batcher.stats
+    cache = handle.server.cache.stats
+    hits = cache.hits - hits0
+    misses = cache.misses - misses0
+    batches = stats.n_batches - batches0
+    engine_queries = stats.n_queries - queries0
+    return {
+        "clients": n_clients,
+        "queries_issued": int(latencies.size),
+        "p50_ms": float(np.percentile(latencies, 50) * 1000),
+        "p99_ms": float(np.percentile(latencies, 99) * 1000),
+        "qps": float(latencies.size / wall),
+        "engine_batches": batches,
+        "engine_queries": engine_queries,
+        "avg_batch_size": engine_queries / batches if batches else 0.0,
+        "max_batch_size": stats.max_batch_size,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_ratio": hits / (hits + misses)
+                           if hits + misses else 0.0,
+    }
+
+
+def check_bit_identity(handle, engine, pool):
+    """Quiescent served answers must equal in-process query_many."""
+    expected = engine.query_many(pool)
+    with ServiceClient(handle.host, handle.port) as client:
+        served = client.query_many(pool)
+    failures = 0
+    for got, want in zip(served, expected):
+        same = (got.estimate == want.estimate or
+                (math.isnan(got.estimate) and math.isnan(want.estimate)))
+        failures += int(not (same and
+                             got.variance == want.variance and
+                             got.exact == want.exact))
+    return failures
+
+
+@lru_cache(maxsize=None)
+def run_service_latency():
+    ds, engine = build_world()
+    pool = query_pool(ds)
+    series = []
+    bit_failures = 0
+    for cache_enabled in (False, True):
+        with serve_background(engine, port=0, max_batch=MAX_BATCH,
+                              max_linger_ms=LINGER_MS,
+                              cache_enabled=cache_enabled) as handle:
+            if not cache_enabled:
+                bit_failures = check_bit_identity(handle, engine, pool)
+            for n_clients in CLIENT_COUNTS:
+                row = drive_series(handle, pool, n_clients)
+                row["cache"] = cache_enabled
+                series.append(row)
+
+    uncached_at_64 = next(r for r in series
+                          if r["clients"] == 64 and not r["cache"])
+    cached_at_64 = next(r for r in series
+                        if r["clients"] == 64 and r["cache"])
+    return {
+        "smoke": SMOKE,
+        "n_rows": N_ROWS,
+        "n_shards": N_SHARDS,
+        "n_distinct_queries": N_DISTINCT,
+        "queries_per_client": PER_CLIENT,
+        "max_batch": MAX_BATCH,
+        "linger_ms": LINGER_MS,
+        "series": series,
+        "max_grouped_at_64": uncached_at_64["max_batch_size"],
+        "cache_hit_ratio_at_64": cached_at_64["cache_hit_ratio"],
+        "qps_speedup_from_cache_at_64":
+            cached_at_64["qps"] / uncached_at_64["qps"],
+        "n_bit_identity_failures": bit_failures,
+    }
+
+
+def format_table(r) -> str:
+    lines = [
+        f"Service latency ({r['n_rows']} rows, {r['n_shards']} shards, "
+        f"{r['n_distinct_queries']} distinct queries, "
+        f"{r['queries_per_client']}/client"
+        f"{', smoke' if r['smoke'] else ''})",
+        f"{'clients':>8}{'cache':>7}{'p50 ms':>9}{'p99 ms':>9}"
+        f"{'qps':>9}{'avg batch':>11}{'max batch':>11}{'hit ratio':>11}",
+    ]
+    for row in r["series"]:
+        lines.append(
+            f"{row['clients']:>8}{'on' if row['cache'] else 'off':>7}"
+            f"{row['p50_ms']:>9.2f}{row['p99_ms']:>9.2f}"
+            f"{row['qps']:>9,.0f}{row['avg_batch_size']:>11.1f}"
+            f"{row['max_batch_size']:>11}"
+            f"{row['cache_hit_ratio']:>11.0%}")
+    lines.append(
+        f"micro-batching grouped up to {r['max_grouped_at_64']} "
+        f"requests/engine call at 64 clients; cache hit ratio "
+        f"{r['cache_hit_ratio_at_64']:.0%} "
+        f"({r['qps_speedup_from_cache_at_64']:.2f}x qps); "
+        f"{r['n_bit_identity_failures']} bit-identity failures")
+    return "\n".join(lines)
+
+
+def test_service_latency(benchmark):
+    """ISSUE 5 acceptance: >= 8 requests grouped per engine call."""
+    result = benchmark.pedantic(run_service_latency, rounds=1,
+                                iterations=1)
+    emit("service_latency", format_table(result))
+    emit_json("BENCH_service_latency", result)
+    assert result["n_bit_identity_failures"] == 0
+    assert result["max_grouped_at_64"] >= MIN_GROUPED
+    assert result["cache_hit_ratio_at_64"] > 0.0

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
-from ..core.queries import AggFunc, Query, Rectangle
+from ..core.queries import AggFunc, Query, QueryResult, Rectangle
 
 _FIELD_SEP = "|"
 _NUM_SEP = ","
@@ -143,6 +143,69 @@ def decode_result(record: str) -> QueryResponse:
         variance_catchup=float(parts[3]), variance_sample=float(parts[4]),
         exact=parts[5] == "1", n_covered=int(parts[6]),
         n_partial=int(parts[7]))
+
+
+def query_to_dict(query: Query) -> dict:
+    """JSON-safe mapping for one query (HTTP service wire format).
+
+    The inverse of :func:`query_from_dict`; floats round-trip exactly
+    because JSON serialization uses Python's shortest-repr floats.
+    """
+    return {
+        "agg": query.agg.value,
+        "attr": query.attr,
+        "predicate_attrs": list(query.predicate_attrs),
+        "lo": [float(x) for x in query.rect.lo],
+        "hi": [float(x) for x in query.rect.hi],
+    }
+
+
+def query_from_dict(payload: dict) -> Query:
+    """Parse one query mapping; raises ``ValueError`` on a bad shape."""
+    try:
+        agg = AggFunc(str(payload["agg"]).upper())
+        attr = str(payload["attr"])
+        pred_attrs = tuple(str(a) for a in payload["predicate_attrs"])
+        lo = tuple(float(x) for x in payload["lo"])
+        hi = tuple(float(x) for x in payload["hi"])
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed query payload: {exc}") from exc
+    return Query(agg, attr, pred_attrs, Rectangle(lo, hi))
+
+
+def result_to_dict(result) -> dict:
+    """JSON-safe mapping for a :class:`~repro.core.queries.QueryResult`.
+
+    Carries the same envelope as :func:`encode_result` (estimate, both
+    Section 4.4.1 variance components, exactness, frontier sizes) so a
+    service client can reconstruct confidence intervals; the internal
+    ``details`` dict (merge bookkeeping, numpy payloads) stays
+    server-side.
+    """
+    return {
+        "estimate": float(result.estimate),
+        "variance_catchup": float(result.variance_catchup),
+        "variance_sample": float(result.variance_sample),
+        "exact": bool(result.exact),
+        "n_covered": int(result.n_covered),
+        "n_partial": int(result.n_partial),
+    }
+
+
+def result_from_dict(payload: dict) -> QueryResult:
+    """Rebuild the :func:`result_to_dict` envelope (the client side).
+
+    Kept beside its inverse so the field list lives in exactly one
+    module; raises ``KeyError``/``ValueError``/``TypeError`` on a
+    payload that does not carry the full envelope.
+    """
+    return QueryResult(
+        estimate=float(payload["estimate"]),
+        variance_catchup=float(payload["variance_catchup"]),
+        variance_sample=float(payload["variance_sample"]),
+        exact=bool(payload["exact"]),
+        n_covered=int(payload["n_covered"]),
+        n_partial=int(payload["n_partial"]))
 
 
 def decode(record: str) -> Request:

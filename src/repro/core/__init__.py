@@ -8,7 +8,8 @@ from .spt import StaticPartitionTree, build_spt
 from .catchup import CatchupReport, CatchupRunner, seed_from_reservoir
 from .triggers import RepartitionTrigger, TriggerAction, TriggerConfig
 from .janus import JanusAQP, JanusConfig, ReoptReport
-from .persist import load_synopsis, save_synopsis
+from .persist import (load_sharded, load_synopsis, save_sharded,
+                      save_synopsis)
 from .shared import SharedPoolSynopses
 from .repartition import (PartialRepartitionReport, ancestor_at,
                           auto_partial_repartition, partial_repartition)
@@ -27,6 +28,7 @@ __all__ = [
     "HeuristicRouter", "SynopsisManager", "PartialRepartitionReport",
     "ancestor_at", "auto_partial_repartition", "partial_repartition",
     "StreamClient", "StreamDriver", "StreamStats", "SharedPoolSynopses",
-    "load_synopsis", "save_synopsis", "ShardedJanusAQP", "merge_additive",
+    "load_sharded", "load_synopsis", "save_sharded", "save_synopsis",
+    "ShardedJanusAQP", "merge_additive",
     "merge_avg", "merge_minmax", "merge_moments", "merge_results",
 ]

@@ -321,6 +321,13 @@ class JanusAQP:
         self.trigger: Optional[RepartitionTrigger] = None
         self.n_repartitions = 0
         self.last_reopt: Optional[ReoptReport] = None
+        #: Monotone data-version counter: bumped under the lock by every
+        #: mutation that can change a query answer (ingest, delete,
+        #: re-initialization, catch-up, partial re-partition).  The
+        #: serving tier's result cache (:mod:`repro.service.cache`) keys
+        #: entries by this value, so a bump invalidates every cached
+        #: answer without any synopsis traffic.
+        self.data_epoch = 0
 
     # ------------------------------------------------------------------ #
     # construction / re-initialization (Figure 4)
@@ -369,6 +376,7 @@ class JanusAQP:
                 snapshot = self.table.live_tids()
                 n0 = len(self.table)
                 self.n_repartitions += 1
+                self.data_epoch += 1
             goal = catchup_goal if catchup_goal is not None else \
                 int(self.config.catchup_rate * n0)
             goal = min(goal, snapshot.size)
@@ -380,6 +388,7 @@ class JanusAQP:
                     live = chunk[self.table.live_mask(chunk)]
                     if live.size:
                         self.dpt.add_catchup_rows(self.table.rows_for(live))
+                        self.data_epoch += 1
             with self._lock:
                 if self.trigger is not None:
                     self.trigger.rebase(self.dpt)
@@ -447,6 +456,7 @@ class JanusAQP:
             self.table, self.table.live_tids(), goal)
         if self.trigger is not None:
             self.trigger.rebase(self.dpt)
+        self.data_epoch += 1
         self.last_reopt = report
         return report
 
@@ -573,6 +583,7 @@ class JanusAQP:
             leaf_of = self.dpt.insert_rows(rows) if self.dpt else None
             self.reservoir.on_insert_many(tids)
             self._maybe_grow_pool()
+            self.data_epoch += 1
             if leaf_of is not None:
                 self._after_update_batch(leaf_of)
             return tids
@@ -608,6 +619,7 @@ class JanusAQP:
             rows = self.table.delete_many(tids)
             leaf_of = self.dpt.delete_rows(rows) if self.dpt else None
             self.reservoir.on_delete_many(tids)
+            self.data_epoch += 1
             if leaf_of is not None:
                 self._after_update_batch(leaf_of)
 

@@ -13,6 +13,13 @@ MIN/MAX heap contents, the epoch population ``n0``, the pooled sample
 (tids + rows) and the configuration.  What is *not* saved: the trigger
 baselines (recomputed on load) and any in-flight catch-up progress
 beyond the accumulators (already folded into the statistics).
+
+A sharded fleet persists as a *directory*: one synopsis archive per
+initialized shard plus a manifest (:func:`save_sharded` /
+:func:`load_sharded`) carrying the placement mode, ``range_block``, the
+global-to-(shard, local)-tid maps and each shard's archival table
+contents, so a serving tier can warm-start the whole fleet instead of
+re-ingesting and re-partitioning.
 """
 
 from __future__ import annotations
@@ -20,7 +27,9 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
-from typing import Dict, List, Optional
+from contextlib import ExitStack
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -28,13 +37,26 @@ from .dpt import DynamicPartitionTree
 from .janus import JanusAQP, JanusConfig
 from .node import DPTNode
 from .queries import AggFunc, Rectangle
+from .sharded import ShardedJanusAQP
 from .table import Table
 
 _FORMAT_VERSION = 1
+_SHARDED_FORMAT_VERSION = 1
+_MANIFEST = "manifest.npz"
 
 
 def save_synopsis(janus: JanusAQP, path: str) -> None:
     """Serialize a JanusAQP synopsis to ``path`` (.npz archive)."""
+    np.savez_compressed(path, **_synopsis_payload(janus))
+
+
+def _synopsis_payload(janus: JanusAQP) -> Dict[str, object]:
+    """Gather everything :func:`save_synopsis` writes, as fresh arrays.
+
+    Split out so :func:`save_sharded` can copy every shard's state
+    under the fleet locks and pay for compression and disk IO *after*
+    releasing them.
+    """
     dpt = janus.dpt
     if dpt is None:
         raise RuntimeError("cannot save an uninitialized synopsis")
@@ -99,8 +121,8 @@ def save_synopsis(janus: JanusAQP, path: str) -> None:
         "minmax_attrs": [dpt.stat_attrs[p] for p in
                          sorted(nodes[0].minmax)] if nodes else [],
     }
-    np.savez_compressed(
-        path, meta=json.dumps(meta), parent=parent, rect_lo=rect_lo,
+    return dict(
+        meta=json.dumps(meta), parent=parent, rect_lo=rect_lo,
         rect_hi=rect_hi, h=h, delta_count=delta_count,
         base_count=base_count, exact=exact, csum=csum, csumsq=csumsq,
         cmin=cmin, cmax=cmax, dsum=dsum, dsumsq=dsumsq, bsum=bsum,
@@ -201,3 +223,164 @@ def load_synopsis(path: str, table: Table) -> JanusAQP:
             obs.on_reset(list(live_tids))
     janus._install_support_structures()
     return janus
+
+
+# ---------------------------------------------------------------------- #
+# sharded fleets: per-shard archives plus a manifest
+# ---------------------------------------------------------------------- #
+def _restore_table(table: Table, tids: np.ndarray, rows: np.ndarray,
+                   next_tid: int) -> None:
+    """Rebuild a table's columnar state from ``(tid, row)`` pairs.
+
+    Dead slots are not reproduced (they carry no information); tid
+    numbering and the tid-to-slot map are exact, so reservoirs and
+    synopses referencing these tids restore verbatim and future inserts
+    continue from the preserved ``next_tid``.
+    """
+    n = int(tids.shape[0])
+    cap = max(16, n)
+    table._data = np.empty((cap, len(table.schema)))
+    table._data[:n] = rows
+    table._live = np.zeros(cap, dtype=bool)
+    table._live[:n] = True
+    table._tids = np.full(cap, -1, dtype=np.int64)
+    table._tids[:n] = tids
+    table._tid_slot = np.full(max(int(next_tid), 16), -1, dtype=np.int64)
+    table._tid_slot[tids] = np.arange(n, dtype=np.int64)
+    table._n_slots = n
+    table._n_live = n
+    table._next_tid = int(next_tid)
+
+
+def save_sharded(sharded: ShardedJanusAQP,
+                 dir_path: Union[str, Path]) -> None:
+    """Serialize a sharded fleet into ``dir_path``.
+
+    Layout: ``shard<i>.npz`` (one :func:`save_synopsis` archive per
+    *initialized* shard) plus ``manifest.npz`` holding the coordinator
+    state - placement mode and ``range_block``, the global tid maps,
+    the per-shard table contents (tids + rows + tid counter) and the
+    construction template.  Uninitialized shards (never held a row)
+    save no archive and come back uninitialized.
+
+    The in-memory snapshot is gathered under the coordinator map lock
+    plus every shard's lock (acquired in shard order, the same order as
+    the data path, so there is no cycle); compression and disk IO
+    happen *after* the locks are released, so the fleet-wide blocking
+    window is one array copy, not the archive write.  An ingest batch
+    already past tid assignment when the locks are taken could still
+    leave shard rows the tid maps do not know about; that inconsistency
+    is detected and raised (``RuntimeError``) rather than written out
+    as a torn snapshot - quiesce ingest (or retry) to save a live
+    fleet.
+    """
+    out = Path(dir_path)
+    out.mkdir(parents=True, exist_ok=True)
+    with ExitStack() as stack:
+        stack.enter_context(sharded._map_lock)
+        for shard in sharded.shards:
+            stack.enter_context(shard._lock)
+
+        # Consistency gate: every live local tid must be reachable from
+        # the global maps, or the snapshot would lose/duplicate rows.
+        n = sharded._next_tid
+        shard_of = sharded._shard_of[:n]
+        local_tid = sharded._local_tid[:n]
+        for s, table in enumerate(sharded.tables):
+            mapped = np.sort(local_tid[shard_of == s])
+            live = np.sort(table.live_tids())
+            if mapped.shape != live.shape or not np.array_equal(mapped,
+                                                                live):
+                raise RuntimeError(
+                    f"shard {s} has rows the tid maps do not cover "
+                    f"(ingest in flight?); quiesce updates and retry")
+
+        # Gather everything as fresh in-memory arrays (no disk IO yet).
+        initialized = []
+        payloads: Dict[int, Dict[str, object]] = {}
+        for s, shard in enumerate(sharded.shards):
+            if shard.dpt is None:
+                initialized.append(False)
+                continue
+            payloads[s] = _synopsis_payload(shard)
+            initialized.append(True)
+
+        config = dataclasses.asdict(sharded.config)
+        config["focus_agg"] = sharded.config.focus_agg.value
+        meta = {
+            "version": _SHARDED_FORMAT_VERSION,
+            "schema": list(sharded.schema),
+            "agg_attr": sharded.agg_attr,
+            "predicate_attrs": list(sharded.predicate_attrs),
+            "stat_attrs": list(sharded.stat_attrs),
+            "n_shards": sharded.n_shards,
+            "sharding": sharded.sharding,
+            "range_block": sharded.range_block,
+            "next_tid": sharded._next_tid,
+            "initialized": initialized,
+            "table_next_tids": [t._next_tid for t in sharded.tables],
+            "config": config,
+        }
+        arrays = {
+            "meta": json.dumps(meta),
+            "shard_of": shard_of.copy(),
+            "local_tid": local_tid.copy(),
+        }
+        for s, table in enumerate(sharded.tables):
+            tids = table.live_tids()
+            arrays[f"table{s}_tids"] = np.asarray(tids, dtype=np.int64)
+            arrays[f"table{s}_rows"] = (
+                table.rows_for(tids) if tids.size else
+                np.empty((0, len(sharded.schema))))
+
+    # Locks released: pay for compression and file writes here.
+    for s, payload in payloads.items():
+        np.savez_compressed(out / f"shard{s}.npz", **payload)
+    np.savez_compressed(out / _MANIFEST, **arrays)
+
+
+def load_sharded(dir_path: Union[str, Path]) -> ShardedJanusAQP:
+    """Restore a fleet saved by :func:`save_sharded`.
+
+    Rebuilds the coordinator (same placement mode, tid maps and
+    counters), each shard's archival table, and every initialized
+    shard's synopsis through :func:`load_synopsis`; forced-repartition
+    counters are re-staggered so the fleet resumes the one-shard-at-a-
+    time rebuild cadence.  Answers after the round-trip are identical
+    to the saved fleet's (``tests/test_persist_sharded.py``).
+    """
+    src = Path(dir_path)
+    manifest = src / _MANIFEST
+    if not manifest.exists():
+        raise FileNotFoundError(f"no {_MANIFEST} under {src}")
+    with np.load(manifest, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        if meta["version"] != _SHARDED_FORMAT_VERSION:
+            raise ValueError(f"unsupported sharded snapshot version "
+                             f"{meta['version']}")
+        cfg_dict = dict(meta["config"])
+        cfg_dict["focus_agg"] = AggFunc(cfg_dict["focus_agg"])
+        config = JanusConfig(**cfg_dict)
+        sharded = ShardedJanusAQP(
+            meta["schema"], meta["agg_attr"], meta["predicate_attrs"],
+            n_shards=int(meta["n_shards"]), config=config,
+            stat_attrs=meta["stat_attrs"],
+            sharding=meta["sharding"],
+            range_block=int(meta["range_block"]))
+        for s in range(sharded.n_shards):
+            _restore_table(sharded.tables[s], archive[f"table{s}_tids"],
+                           archive[f"table{s}_rows"],
+                           int(meta["table_next_tids"][s]))
+        next_tid = int(meta["next_tid"])
+        sharded._ensure_tid_capacity(max(next_tid, 1))
+        sharded._shard_of[:next_tid] = archive["shard_of"]
+        sharded._local_tid[:next_tid] = archive["local_tid"]
+        sharded._next_tid = next_tid
+    for s, up in enumerate(meta["initialized"]):
+        if not up:
+            continue
+        sharded.shards[s] = load_synopsis(str(src / f"shard{s}.npz"),
+                                          sharded.tables[s])
+        sharded._stagger_trigger(s)
+    return sharded
+

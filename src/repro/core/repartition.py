@@ -100,6 +100,7 @@ def partial_repartition(janus, leaf: DPTNode, psi: int = 2
     janus._rebuild_leaf_cache()
     if janus.trigger is not None:
         janus.trigger.rebase(dpt)
+    janus.data_epoch += 1
     return PartialRepartitionReport(u.node_id, l_u, n_seed,
                                     time.perf_counter() - t0)
 

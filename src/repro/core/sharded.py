@@ -150,11 +150,15 @@ class ShardedJanusAQP:
                 table, agg_attr, predicate_attrs,
                 config=replace(self.config, seed=self.config.seed + s),
                 stat_attrs=stat_attrs))
+        #: Attributes every shard tracks statistics for (uniform across
+        #: the fleet) - the same template surface JanusAQP exposes.
+        self.stat_attrs = self.shards[0].stat_attrs
         self._shard_of = np.full(64, -1, dtype=np.int64)
         self._local_tid = np.zeros(64, dtype=np.int64)
         self._next_tid = 0
         self._map_lock = threading.Lock()
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
         self._max_workers = max_workers or self.n_shards
         self.table = _ShardedTableView(self)
 
@@ -162,10 +166,16 @@ class ShardedJanusAQP:
     # fan-out machinery
     # ------------------------------------------------------------------ #
     def _executor(self) -> ThreadPoolExecutor:
+        # Double-checked under a lock: the serving tier drives the
+        # coordinator from several executor threads at once, and two
+        # concurrent first fan-outs must not each construct (and one
+        # leak) a thread pool.
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self._max_workers,
-                thread_name_prefix="janus-shard")
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self._max_workers,
+                        thread_name_prefix="janus-shard")
         return self._pool
 
     def _fan_out(self, fn: Callable[[int], object],
@@ -174,14 +184,16 @@ class ShardedJanusAQP:
         shard_ids = list(shard_ids)
         if len(shard_ids) <= 1:
             return [fn(s) for s in shard_ids]
-        futures = [self._executor().submit(fn, s) for s in shard_ids]
+        pool = self._executor()
+        futures = [pool.submit(fn, s) for s in shard_ids]
         return [f.result() for f in futures]
 
     def close(self) -> None:
         """Shut the fan-out pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "ShardedJanusAQP":
         return self
@@ -227,6 +239,18 @@ class ShardedJanusAQP:
     def pool_size(self) -> int:
         """Total pooled-sample size across shards."""
         return sum(s.pool_size for s in self.shards)
+
+    @property
+    def data_epoch(self) -> int:
+        """Monotone fleet-wide data version for result caching.
+
+        The sum of the per-shard epochs: every mutation path (ingest,
+        delete, re-optimization, rebalance) runs through some shard's
+        epoch-bumping operation, so the sum strictly increases whenever
+        any answer could change and the serving tier's cache
+        (:mod:`repro.service.cache`) can key merged results by it.
+        """
+        return sum(s.data_epoch for s in self.shards)
 
     def storage_cost_bytes(self) -> int:
         """Summed synopsis footprint of the fleet."""

@@ -50,6 +50,19 @@ class SynopsisManager:
         self.table = table
         self.config = config or JanusConfig()
         self._synopses: Dict[TemplateKey, JanusAQP] = {}
+        self._epoch_extra = 0   # mutations not visible in any synopsis
+
+    @property
+    def data_epoch(self) -> int:
+        """Monotone data version across all templates (result caching).
+
+        Sum of the per-template epochs plus a local counter for
+        mutations applied before any template exists; strictly increases
+        on every insert/delete/re-optimization, so template-keyed cache
+        entries (:mod:`repro.service.cache`) invalidate fleet-wide.
+        """
+        return self._epoch_extra + sum(s.data_epoch
+                                       for s in self._synopses.values())
 
     def add_template(self, agg_attr: str,
                      predicate_attrs: Sequence[str]) -> JanusAQP:
@@ -79,6 +92,7 @@ class SynopsisManager:
             raise ValueError("rows must be a 2-D (n, n_attrs) array")
         synopses = list(self._synopses.values())
         if not synopses:
+            self._epoch_extra += 1
             return self.table.insert_many(rows)
         first, rest = synopses[0], synopses[1:]
         tids = first.insert_many(rows)
@@ -99,6 +113,7 @@ class SynopsisManager:
             return
         synopses = list(self._synopses.values())
         if not synopses:
+            self._epoch_extra += 1
             self.table.delete_many(tids)
             return
         rows = self.table.rows_for(tids).copy()
@@ -147,6 +162,18 @@ class HeuristicRouter:
 
     def __init__(self, synopsis: JanusAQP) -> None:
         self.synopsis = synopsis
+        self._epoch_base = 0    # carried across repartition_for swaps
+
+    @property
+    def data_epoch(self) -> int:
+        """Monotone data version delegated to the active tree.
+
+        ``repartition_for`` swaps in a fresh synopsis whose own epoch
+        restarts at zero; the base offset keeps the router's epoch
+        strictly increasing across swaps so no stale cache entry can
+        collide with a reused epoch value.
+        """
+        return self._epoch_base + self.synopsis.data_epoch
 
     def query(self, query: Query) -> QueryResult:
         """Answer with the tree when possible, else uniform sampling.
@@ -220,5 +247,6 @@ class HeuristicRouter:
                        predicate_attrs, config=self.synopsis.config,
                        stat_attrs=self.synopsis.stat_attrs)
         new.initialize()
+        self._epoch_base += self.synopsis.data_epoch + 1
         self.synopsis = new
         return new

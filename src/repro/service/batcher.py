@@ -1,0 +1,202 @@
+"""Micro-batching admission: concurrent requests become one batch call.
+
+The PR 2 batched query engine answers a whole batch under one lock with
+one shared frontier traversal - but an HTTP server naturally receives
+queries one connection at a time, which would degrade to per-query
+calls exactly when load is highest.  :class:`MicroBatcher` converts
+concurrency back into batches: every in-flight ``/query`` / ``/sql``
+request parks its queries (with a future each) in a pending list, and a
+flush - triggered by the batch filling up (``max_batch``) or by a short
+linger deadline (``max_linger_ms``) expiring after the first arrival -
+executes the whole accumulation as a single
+:meth:`~repro.core.janus.JanusAQP.query_many` call in a worker thread,
+then resolves the futures.
+
+While one flush is executing in the worker, new arrivals keep
+accumulating into the *next* batch, so a slow synopsis pass converts
+waiting clients into larger (cheaper per query) batches instead of a
+queue of tiny calls - the classic group-commit dynamic.  Under a single
+client nothing lingers beyond one deadline, keeping the added p50
+latency bounded by ``max_linger_ms``.
+
+All bookkeeping runs on the event loop (single-threaded, no locks);
+only the engine call itself runs in the executor.  Results are
+per-query pure functions of the batch members (PR 2 pins batched ==
+sequential bit-identically), so co-batching requests from different
+clients cannot change any answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.queries import Query, QueryResult
+
+__all__ = ["BatcherStats", "MicroBatcher"]
+
+ExecuteFn = Callable[[List[Query]], List[QueryResult]]
+
+
+class BatcherStats:
+    """Flush accounting reported by ``/stats`` and ``/metrics``."""
+
+    __slots__ = ("n_batches", "n_queries", "max_batch_size",
+                 "n_flush_full", "n_flush_linger", "n_isolated")
+
+    def __init__(self) -> None:
+        self.n_batches = 0
+        self.n_queries = 0
+        self.max_batch_size = 0
+        self.n_flush_full = 0      # flushed because max_batch filled
+        self.n_flush_linger = 0    # flushed by the linger deadline
+        self.n_isolated = 0        # re-run solo after a poisoned batch
+
+    def record(self, size: int, reason: str) -> None:
+        self.n_batches += 1
+        self.n_queries += size
+        self.max_batch_size = max(self.max_batch_size, size)
+        if reason == "full":
+            self.n_flush_full += 1
+        elif reason == "isolated":
+            self.n_isolated += 1
+        else:
+            self.n_flush_linger += 1
+
+    @property
+    def avg_batch_size(self) -> float:
+        return self.n_queries / self.n_batches if self.n_batches else 0.0
+
+    def to_dict(self) -> dict:
+        return {"n_batches": self.n_batches, "n_queries": self.n_queries,
+                "max_batch_size": self.max_batch_size,
+                "avg_batch_size": self.avg_batch_size,
+                "n_flush_full": self.n_flush_full,
+                "n_flush_linger": self.n_flush_linger,
+                "n_isolated": self.n_isolated}
+
+
+class MicroBatcher:
+    """Coalesces concurrently submitted queries into batch executions.
+
+    ``execute`` is a synchronous callable (it runs inside ``executor``)
+    mapping a query list to a result list in order - typically a thin
+    wrapper around ``engine.query_many`` that also feeds the result
+    cache.  One batcher serves one engine; create it from inside a
+    running event loop.
+    """
+
+    def __init__(self, execute: ExecuteFn, max_batch: int = 64,
+                 max_linger_ms: float = 2.0,
+                 executor=None) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_linger_ms < 0:
+            raise ValueError("max_linger_ms must be >= 0")
+        self._execute = execute
+        self.max_batch = int(max_batch)
+        self.max_linger = max_linger_ms / 1000.0
+        self._executor = executor
+        self._pending: List[Tuple[Query, asyncio.Future]] = []
+        self._timer: Optional[asyncio.Task] = None
+        self._inflight: set = set()
+        self._closed = False
+        self.stats = BatcherStats()
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    async def submit(self, query: Query) -> QueryResult:
+        """Park one query and await its answer."""
+        return (await self.submit_many((query,)))[0]
+
+    async def submit_many(self, queries: Sequence[Query]
+                          ) -> List[QueryResult]:
+        """Park a request's queries and await all its answers in order.
+
+        The request's queries may be split across engine batches (they
+        are answered independently); the await resolves when the last
+        one lands.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        loop = asyncio.get_running_loop()
+        futures = [loop.create_future() for _ in queries]
+        self._pending.extend(zip(queries, futures))
+        while len(self._pending) >= self.max_batch:
+            self._flush(self._pending[:self.max_batch], "full")
+            self._pending = self._pending[self.max_batch:]
+        if self._pending and self._timer is None:
+            self._timer = loop.create_task(self._linger())
+        return list(await asyncio.gather(*futures))
+
+    # ------------------------------------------------------------------ #
+    # flushing
+    # ------------------------------------------------------------------ #
+    def _flush(self, batch: List[Tuple[Query, asyncio.Future]],
+               reason: str) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not batch:
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._run(batch, reason))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _linger(self) -> None:
+        try:
+            await asyncio.sleep(self.max_linger)
+        except asyncio.CancelledError:
+            return
+        self._timer = None
+        batch, self._pending = self._pending, []
+        self._flush(batch, "linger")
+
+    async def _run(self, batch: List[Tuple[Query, asyncio.Future]],
+                   reason: str) -> None:
+        queries = [query for query, _ in batch]
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._execute, queries)
+        except Exception:
+            # A poisoned batch (one malformed query fails the whole
+            # engine call): isolate by re-running per query so one
+            # client's bad request cannot fail its co-batched
+            # neighbours, exactly like the stream driver's fallback.
+            await self._run_isolated(batch)
+            return
+        self.stats.record(len(batch), reason)
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)
+
+    async def _run_isolated(self,
+                            batch: List[Tuple[Query, asyncio.Future]]
+                            ) -> None:
+        loop = asyncio.get_running_loop()
+        for query, future in batch:
+            try:
+                result = (await loop.run_in_executor(
+                    self._executor, self._execute, [query]))[0]
+            except Exception as exc:
+                if not future.done():
+                    future.set_exception(exc)
+            else:
+                self.stats.record(1, "isolated")
+                if not future.done():
+                    future.set_result(result)
+
+    async def close(self) -> None:
+        """Flush whatever is parked and wait for in-flight batches."""
+        self._closed = True
+        batch, self._pending = self._pending, []
+        self._flush(batch, "linger")
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight),
+                                 return_exceptions=True)

@@ -1,0 +1,637 @@
+"""Asyncio HTTP/JSON AQP server fronting a synopsis engine.
+
+:class:`AQPServer` is the client-facing tier of the system: a
+stdlib-only HTTP/1.1 server (``asyncio`` streams plus a minimal codec -
+request line, headers, ``Content-Length`` body, keep-alive) that routes
+requests into the batched engine lane built by PRs 1-4.  One server
+fronts one engine - a :class:`~repro.core.janus.JanusAQP`, a
+:class:`~repro.core.sharded.ShardedJanusAQP` fleet, or anything else
+exposing ``insert_many`` / ``delete_many`` / ``query_many`` /
+``data_epoch`` and the template attributes.
+
+Request flow for reads::
+
+    /sql ──► sqlfront.compile_sql ─┐
+    /query ── query_from_dict ─────┤
+                                   ▼
+                        ResultCache.lookup(query, engine.data_epoch)
+                          │ hit: answered with zero synopsis traffic
+                          ▼ miss
+                        MicroBatcher.submit_many
+                          │ coalesces every in-flight request
+                          ▼
+                        engine.query_many(batch)   (executor thread)
+                          │ epoch unchanged across the call?
+                          ▼
+                        ResultCache.store + respond
+
+Writes (``/insert`` / ``/delete``) run straight to the engine's batch
+API in the executor and bump ``data_epoch``, which structurally
+invalidates every cached answer.  ``/stats`` and ``/metrics`` expose
+engine, batcher and cache counters (JSON and Prometheus text form).
+
+JSON payloads may carry ``Infinity``/``NaN`` literals (Python's
+``json`` emits and parses them); rectangle bounds are typically
+infinite on unconstrained dimensions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..broker.requests import query_from_dict, result_to_dict
+from ..core.queries import AggFunc, Query, QueryResult
+from .batcher import MicroBatcher
+from .cache import ResultCache
+from .sqlfront import SQLError, compile_sql
+
+__all__ = ["AQPServer", "ServiceHandle", "serve_background"]
+
+_MAX_BODY = 64 * 1024 * 1024
+_MAX_HEADER_BYTES = 64 * 1024       # total across one request's headers
+
+
+class _HTTPError(Exception):
+    """Maps to an error response without tearing the connection down."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed", 413: "Payload Too Large",
+                431: "Request Header Fields Too Large",
+                500: "Internal Server Error"}
+
+
+class AQPServer:
+    """HTTP/JSON front-end over one synopsis engine.
+
+    Parameters
+    ----------
+    engine:
+        The synopsis to serve.  Must expose ``insert_many`` /
+        ``delete_many`` / ``query_many``, a monotone ``data_epoch``,
+        and the template surface (``agg_attr``, ``predicate_attrs``)
+        used to bind SQL statements.
+    host, port:
+        Bind address; port 0 picks an ephemeral port (read it back from
+        :attr:`port` after :meth:`start`).
+    max_batch, max_linger_ms:
+        Micro-batching knobs (see :class:`~repro.service.batcher.
+        MicroBatcher`).
+    cache_size, cache_enabled:
+        Per-template LRU capacity of the epoch-tagged result cache;
+        disabling it makes served answers bit-identical to in-process
+        ``query_many`` (the end-to-end test's mode).
+    executor_workers:
+        Threads executing engine calls; the engine's own locks
+        serialize what must be serialized.
+    idle_timeout:
+        Seconds a connection may sit between requests before the
+        server closes it (bounds slowloris-style fd exhaustion).
+    """
+
+    def __init__(self, engine, host: str = "127.0.0.1", port: int = 0,
+                 max_batch: int = 64, max_linger_ms: float = 2.0,
+                 cache_size: int = 256, cache_enabled: bool = True,
+                 executor_workers: int = 4,
+                 idle_timeout: float = 120.0) -> None:
+        self.engine = engine
+        self._host = host
+        self._port = port
+        self._idle_timeout = idle_timeout
+        self._max_batch = max_batch
+        self._max_linger_ms = max_linger_ms
+        self.cache = ResultCache(per_template=cache_size,
+                                 enabled=cache_enabled)
+        self._executor_workers = executor_workers
+        self._executor: Optional[ThreadPoolExecutor] = \
+            ThreadPoolExecutor(max_workers=executor_workers,
+                               thread_name_prefix="janus-service")
+        self.batcher: Optional[MicroBatcher] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: set = set()
+        self._started_at = 0.0
+        self.request_counts: Dict[str, int] = {}
+        self.n_bad_requests = 0
+        self._routes = {
+            ("GET", "/health"): self._handle_health,
+            ("GET", "/stats"): self._handle_stats,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("POST", "/query"): self._handle_query,
+            ("POST", "/sql"): self._handle_sql,
+            ("POST", "/insert"): self._handle_insert,
+            ("POST", "/delete"): self._handle_delete,
+        }
+        self._known_paths = frozenset(p for _, p in self._routes)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved after :meth:`start` when 0)."""
+        return self._port
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns ``(host, port)``.
+
+        A stopped server can be started again (the engine executor is
+        recreated; a port of 0 binds a fresh ephemeral port).
+        """
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        if self._executor is None:      # restarted after stop()
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._executor_workers,
+                thread_name_prefix="janus-service")
+        self.batcher = MicroBatcher(
+            self._engine_execute, max_batch=self._max_batch,
+            max_linger_ms=self._max_linger_ms, executor=self._executor)
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port)
+        self._port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
+        return self._host, self._port
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, release threads.
+
+        Connection tasks wind down *before* the batcher closes, so a
+        keep-alive request racing the shutdown is cut off at the
+        connection instead of surfacing a spurious 500 from a
+        closed batcher.
+        """
+        if self._server is None:
+            return
+        self._server.close()
+        # Cancel connection handlers BEFORE wait_closed(): on Python
+        # 3.12.1+ wait_closed blocks until every connection transport
+        # is gone, so an idle keep-alive client parked in readline()
+        # would hang the shutdown forever if cancelled after.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+        await self._server.wait_closed()
+        self._server = None
+        if self.batcher is not None:
+            await self.batcher.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI entry point's main loop)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # engine lane
+    # ------------------------------------------------------------------ #
+    def _engine_execute(self, queries: List[Query]) -> List[QueryResult]:
+        """One micro-batch through the engine (runs in the executor).
+
+        The epoch is read on both sides of the call: results are
+        admitted to the cache only when no write interleaved, keyed by
+        the epoch they provably belong to.
+        """
+        epoch_before = self.engine.data_epoch
+        results = self.engine.query_many(queries)
+        epoch_after = self.engine.data_epoch
+        for query, result in zip(queries, results):
+            self.cache.store(query, result, epoch_before, epoch_after)
+        return results
+
+    def _validate_queries(self, queries: List[Query]) -> None:
+        """Reject off-template queries before they reach the batcher.
+
+        A query the engine cannot answer would otherwise fail the whole
+        micro-batch it rides in; binding errors must surface as this
+        request's 400, never as a co-batched neighbour's failure.
+        """
+        pred_attrs = tuple(self.engine.predicate_attrs)
+        stat_attrs = getattr(self.engine, "stat_attrs", None)
+        for query in queries:
+            if query.predicate_attrs != pred_attrs:
+                raise _HTTPError(
+                    400, f"predicate attributes "
+                         f"{list(query.predicate_attrs)} do not match "
+                         f"this synopsis (template: {list(pred_attrs)})")
+            if stat_attrs is not None and \
+                    query.agg is not AggFunc.COUNT and \
+                    query.attr not in stat_attrs:
+                raise _HTTPError(
+                    400, f"aggregation column {query.attr!r} is not "
+                         f"tracked by this synopsis (tracked: "
+                         f"{list(stat_attrs)})")
+
+    async def _answer(self, queries: List[Query]) -> Tuple[List[dict],
+                                                           List[bool]]:
+        """Cache lookups first, the misses through the batcher."""
+        self._validate_queries(queries)
+        results: List[Optional[QueryResult]] = [None] * len(queries)
+        cached = [False] * len(queries)
+        misses: List[int] = []
+        epoch = self.engine.data_epoch
+        for i, query in enumerate(queries):
+            hit = self.cache.lookup(query, epoch)
+            if hit is not None:
+                results[i] = hit
+                cached[i] = True
+            else:
+                misses.append(i)
+        if misses:
+            answered = await self.batcher.submit_many(
+                [queries[i] for i in misses])
+            for i, result in zip(misses, answered):
+                results[i] = result
+        return [result_to_dict(r) for r in results], cached
+
+    # ------------------------------------------------------------------ #
+    # routes
+    # ------------------------------------------------------------------ #
+    async def _route(self, method: str, path: str, body: bytes) -> dict:
+        path = path.split("?", 1)[0]
+        handler = self._routes.get((method, path))
+        if handler is None:
+            if path in self._known_paths:
+                raise _HTTPError(405, f"method {method} not allowed "
+                                      f"for {path}")
+            raise _HTTPError(404, f"unknown route {path}")
+        self.request_counts[path] = self.request_counts.get(path, 0) + 1
+        payload = None
+        if method == "POST":
+            if len(body) > 256 * 1024:
+                # Decoding a large body inline would stall the event
+                # loop (and every other connection's latency with it).
+                payload = await asyncio.get_running_loop() \
+                    .run_in_executor(self._executor, self._json_body,
+                                     body)
+            else:
+                payload = self._json_body(body)
+        return await handler(payload)
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HTTPError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "body must be a JSON object")
+        return payload
+
+    async def _handle_health(self, _payload) -> dict:
+        return {"status": "ok"}
+
+    async def _handle_query(self, payload: dict) -> dict:
+        if "queries" in payload:
+            raw = payload["queries"]
+            single = False
+        elif "query" in payload:
+            raw = [payload["query"]]
+            single = True
+        else:
+            raise _HTTPError(400, "expected 'query' or 'queries'")
+        if not isinstance(raw, list):
+            raise _HTTPError(400, "'queries' must be a list")
+        try:
+            queries = [query_from_dict(q) for q in raw]
+        except ValueError as exc:
+            raise _HTTPError(400, str(exc)) from exc
+        results, cached = await self._answer(queries)
+        if single:
+            return {"result": results[0], "cached": cached[0]}
+        return {"results": results, "cached": cached}
+
+    async def _handle_sql(self, payload: dict) -> dict:
+        if "sql" not in payload:
+            raise _HTTPError(400, "expected 'sql'")
+        raw = payload["sql"]
+        single = isinstance(raw, str)
+        statements = [raw] if single else raw
+        if not isinstance(statements, list) or \
+                not all(isinstance(s, str) for s in statements):
+            raise _HTTPError(400, "'sql' must be a string or a list "
+                                  "of strings")
+        try:
+            queries = [compile_sql(s, self.engine.agg_attr,
+                                   self.engine.predicate_attrs,
+                                   stat_attrs=getattr(self.engine,
+                                                      "stat_attrs",
+                                                      None))
+                       for s in statements]
+        except SQLError as exc:
+            raise _HTTPError(400, str(exc)) from exc
+        results, cached = await self._answer(queries)
+        if single:
+            return {"result": results[0], "cached": cached[0]}
+        return {"results": results, "cached": cached}
+
+    def _decode_and_insert(self, raw) -> List[int]:
+        """Array conversion, validation and ingest, off the loop."""
+        try:
+            rows = np.asarray(raw, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise _HTTPError(400, f"bad rows: {exc}") from exc
+        if rows.size and rows.ndim != 2:
+            raise _HTTPError(400, "rows must be a list of equal-length "
+                                  "numeric lists")
+        if rows.size and not np.isfinite(rows).all():
+            # One NaN row would poison SUM/AVG delta statistics for
+            # every client (and a later delete cannot heal nan - nan);
+            # the trust boundary rejects it before the engine sees it.
+            raise _HTTPError(400, "rows must contain only finite "
+                                  "values")
+        try:
+            return self.engine.insert_many(rows)
+        except ValueError as exc:
+            raise _HTTPError(400, str(exc)) from exc
+
+    async def _handle_insert(self, payload: dict) -> dict:
+        if "rows" not in payload:
+            raise _HTTPError(400, "expected 'rows'")
+        loop = asyncio.get_running_loop()
+        tids = await loop.run_in_executor(
+            self._executor, self._decode_and_insert, payload["rows"])
+        return {"tids": [int(t) for t in tids],
+                "epoch": int(self.engine.data_epoch)}
+
+    async def _handle_delete(self, payload: dict) -> dict:
+        if "tids" not in payload:
+            raise _HTTPError(400, "expected 'tids'")
+        try:
+            tids = [int(t) for t in payload["tids"]]
+        except (TypeError, ValueError) as exc:
+            raise _HTTPError(400, f"bad tids: {exc}") from exc
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(
+                self._executor, self.engine.delete_many, tids)
+        except KeyError as exc:
+            raise _HTTPError(400, f"delete failed: {exc}") from exc
+        return {"deleted": len(tids),
+                "epoch": int(self.engine.data_epoch)}
+
+    async def _handle_stats(self, _payload) -> dict:
+        engine = self.engine
+        stats = {
+            "engine": {
+                "rows": len(engine.table),
+                "pool_size": engine.pool_size,
+                "data_epoch": int(engine.data_epoch),
+            },
+            "batcher": self.batcher.stats.to_dict(),
+            "cache": dict(self.cache.stats.to_dict(),
+                          enabled=self.cache.enabled,
+                          entries=len(self.cache)),
+            "requests": dict(self.request_counts),
+            "n_bad_requests": self.n_bad_requests,
+            "uptime_seconds": time.time() - self._started_at,
+        }
+        n_shards = getattr(engine, "n_shards", None)
+        if n_shards is not None:
+            stats["engine"]["n_shards"] = n_shards
+            stats["engine"]["shard_sizes"] = engine.shard_sizes()
+        return stats
+
+    async def _handle_metrics(self, _payload) -> dict:
+        b = self.batcher.stats
+        c = self.cache.stats
+        lines = [
+            "# TYPE janus_service_uptime_seconds gauge",
+            f"janus_service_uptime_seconds "
+            f"{time.time() - self._started_at:.3f}",
+            "# TYPE janus_service_engine_rows gauge",
+            f"janus_service_engine_rows {len(self.engine.table)}",
+            "# TYPE janus_service_engine_data_epoch counter",
+            f"janus_service_engine_data_epoch "
+            f"{int(self.engine.data_epoch)}",
+            "# TYPE janus_service_batches_total counter",
+            f"janus_service_batches_total {b.n_batches}",
+            "# TYPE janus_service_batched_queries_total counter",
+            f"janus_service_batched_queries_total {b.n_queries}",
+            "# TYPE janus_service_batch_max_size gauge",
+            f"janus_service_batch_max_size {b.max_batch_size}",
+            "# TYPE janus_service_cache_hits_total counter",
+            f"janus_service_cache_hits_total {c.hits}",
+            "# TYPE janus_service_cache_misses_total counter",
+            f"janus_service_cache_misses_total {c.misses}",
+            "# TYPE janus_service_bad_requests_total counter",
+            f"janus_service_bad_requests_total {self.n_bad_requests}",
+        ]
+        for route, count in sorted(self.request_counts.items()):
+            lines.append(f'janus_service_requests_total'
+                         f'{{route="{route}"}} {count}')
+        return {"__raw__": "\n".join(lines) + "\n"}
+
+    # ------------------------------------------------------------------ #
+    # HTTP codec
+    # ------------------------------------------------------------------ #
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    # The idle timeout bounds parked connections: a
+                    # client that connects (or keeps alive) and never
+                    # sends a request must not hold a task and an fd
+                    # forever.
+                    request = await asyncio.wait_for(
+                        self._read_request(reader),
+                        timeout=self._idle_timeout)
+                except asyncio.TimeoutError:
+                    break
+                except _HTTPError as exc:
+                    # A request we could not even parse still deserves
+                    # a response; the connection closes after it since
+                    # the stream position is unreliable.
+                    self.n_bad_requests += 1
+                    self._write_response(writer, exc.status,
+                                         {"error": str(exc)}, False)
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, version, headers, body = request
+                keep_alive = (version != "HTTP/1.0" and
+                              headers.get("connection", "") != "close")
+                try:
+                    payload = await self._route(method, path, body)
+                    status = 200
+                except _HTTPError as exc:
+                    payload = {"error": str(exc)}
+                    status = exc.status
+                    self.n_bad_requests += 1
+                except Exception as exc:    # engine-side failure
+                    payload = {"error": f"{type(exc).__name__}: {exc}"}
+                    status = 500
+                    self.n_bad_requests += 1
+                self._write_response(writer, status, payload, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                asyncio.CancelledError, _HTTPError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one request; ``None`` at a clean connection close."""
+        try:
+            line = await reader.readline()
+        except ValueError:      # request line over the stream limit
+            raise _HTTPError(400, "request line too long") from None
+        except ConnectionResetError:
+            return None
+        if not line:
+            return None
+        try:
+            method, path, version = \
+                line.decode("latin-1").strip().split(" ", 2)
+        except ValueError:
+            raise _HTTPError(400, "malformed request line") from None
+        headers: Dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError:  # a header over the stream limit
+                raise _HTTPError(400, "header line too long") from None
+            if line in (b"\r\n", b"\n", b""):
+                break
+            header_bytes += len(line)
+            if header_bytes > _MAX_HEADER_BYTES:
+                # One connection must not grow server memory without
+                # bound by streaming headers forever.
+                raise _HTTPError(431, "request headers too large")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip().lower()
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HTTPError(400, f"bad Content-Length "
+                                  f"{raw_length!r}") from None
+        if length < 0:
+            raise _HTTPError(400, f"bad Content-Length {raw_length!r}")
+        if length > _MAX_BODY:
+            raise _HTTPError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, version, headers, body
+
+    def _write_response(self, writer: asyncio.StreamWriter, status: int,
+                        payload: dict, keep_alive: bool) -> None:
+        if "__raw__" in payload:            # /metrics text exposition
+            body = payload["__raw__"].encode("utf-8")
+            content_type = "text/plain; version=0.0.4"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}"
+                f"\r\n\r\n")
+        writer.write(head.encode("latin-1") + body)
+
+
+# ---------------------------------------------------------------------- #
+# background serving for synchronous callers (tests, benchmarks, examples)
+# ---------------------------------------------------------------------- #
+class ServiceHandle:
+    """A running server on a private event-loop thread.
+
+    ``host``/``port`` are live once :func:`serve_background` returns;
+    :meth:`stop` shuts the server down gracefully and joins the thread.
+    The underlying :class:`AQPServer` is exposed as :attr:`server` for
+    stats inspection (its counters are plain ints, safe to read).
+    """
+
+    def __init__(self, server: AQPServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread,
+                 stop_event: asyncio.Event) -> None:
+        self.server = server
+        self.host = server.host
+        self.port = server.port
+        self._loop = loop
+        self._thread = thread
+        self._stop_event = stop_event
+
+    def stop(self) -> None:
+        if not self._thread.is_alive():
+            return
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_background(engine, **kwargs) -> ServiceHandle:
+    """Start an :class:`AQPServer` on a daemon thread and wait for bind.
+
+    Keyword arguments are forwarded to :class:`AQPServer`.  Returns a
+    :class:`ServiceHandle` whose ``port`` is resolved (pass ``port=0``
+    for an ephemeral one).  Startup errors re-raise in the caller.
+    """
+    started = threading.Event()
+    box: dict = {}
+
+    async def main() -> None:
+        server = AQPServer(engine, **kwargs)
+        stop_event = asyncio.Event()
+        try:
+            await server.start()
+        except Exception as exc:            # surface bind errors
+            box["error"] = exc
+            started.set()
+            return
+        box["server"] = server
+        box["loop"] = asyncio.get_running_loop()
+        box["stop_event"] = stop_event
+        started.set()
+        await stop_event.wait()
+        await server.stop()
+
+    thread = threading.Thread(target=lambda: asyncio.run(main()),
+                              name="janus-service", daemon=True)
+    thread.start()
+    started.wait(timeout=30)
+    if "error" in box:
+        raise box["error"]
+    if "server" not in box:
+        raise RuntimeError("service failed to start within 30s")
+    return ServiceHandle(box["server"], box["loop"], thread,
+                         box["stop_event"])

@@ -1,0 +1,283 @@
+"""SQL front-end: a small SELECT-aggregate subset compiled to queries.
+
+The serving tier accepts the textual form of the only query shape a
+partition-tree synopsis answers (paper Section 3.1)::
+
+    SELECT <AGG>(<col> | *) FROM <table>
+      [WHERE <col> BETWEEN <num> AND <num>
+         [AND <col> <op> <num>] ...]
+
+* ``<AGG>`` is one of SUM, COUNT, AVG, MIN, MAX, VARIANCE, STDDEV
+  (case-insensitive, like every keyword); ``COUNT(*)`` is allowed.
+* The WHERE clause is a conjunction of range predicates over the
+  engine's predicate attributes: ``BETWEEN`` (closed on both sides,
+  like :class:`~repro.core.queries.Rectangle`), the comparisons
+  ``>= <= > < =``, and repeats on the same column intersect.  Strict
+  inequalities are tightened to the adjacent float
+  (``math.nextafter``), which is exact for the closed-rectangle model.
+* Unconstrained predicate attributes default to ``(-inf, +inf)``.
+
+Compilation is a two-step pipeline so errors point at the right layer:
+:func:`parse_sql` turns text into a :class:`ParsedSQL` (pure syntax,
+raising :class:`SQLError` with the offending position), and
+:func:`compile_sql` binds it against an engine template - aggregation
+attribute and predicate-attribute order - producing the
+:class:`~repro.core.queries.Query` the batched engine executes.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.queries import AggFunc, Query, Rectangle
+
+__all__ = ["SQLError", "ParsedSQL", "parse_sql", "compile_sql"]
+
+
+class SQLError(ValueError):
+    """A syntax or binding error, annotated with the source position."""
+
+    def __init__(self, message: str, sql: str, pos: int) -> None:
+        pointer = sql[max(0, pos - 20):pos + 20]
+        super().__init__(f"{message} at position {pos}: ...{pointer!r}...")
+        self.sql = sql
+        self.pos = pos
+
+
+@dataclass(frozen=True)
+class ParsedSQL:
+    """The syntactic content of one statement, before template binding.
+
+    ``conditions`` holds per-column closed bounds ``col -> (lo, hi)``
+    in first-mention order; ``attr`` is ``None`` for ``COUNT(*)``.
+    ``attr_pos`` and ``condition_positions`` (one entry per condition,
+    the column's first mention) let binding errors point at the
+    offending token.
+    """
+
+    agg: AggFunc
+    attr: Optional[str]
+    table: str
+    conditions: Tuple[Tuple[str, float, float], ...]
+    attr_pos: int = 0
+    condition_positions: Tuple[int, ...] = ()
+
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+      (?P<num>[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?(?![A-Za-z_])|
+              [-+]?(?:infinity|inf)(?![A-Za-z_0-9]))
+    | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+    | (?P<op>>=|<=|<>|!=|=|<|>|\(|\)|\*|,)
+    )""", re.VERBOSE)
+
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "BETWEEN"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str       # "num" | "ident" | "op" | "end"
+    text: str
+    pos: int
+
+
+def _tokenize(sql: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None or match.end() == pos:
+            if sql[pos:].strip() == "":
+                break
+            bad = pos + len(sql[pos:]) - len(sql[pos:].lstrip())
+            raise SQLError(f"unexpected character {sql[bad]!r}", sql, bad)
+        kind = match.lastgroup
+        tokens.append(_Token(kind, match.group(kind),
+                             match.start(kind)))
+        pos = match.end()
+    tokens.append(_Token("end", "", len(sql)))
+    return tokens
+
+
+class _Parser:
+    """Recursive descent over the token list; one statement per call."""
+
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = _tokenize(sql)
+        self.i = 0
+
+    # ---- token helpers ------------------------------------------------ #
+    @property
+    def cur(self) -> _Token:
+        return self.tokens[self.i]
+
+    def _advance(self) -> _Token:
+        token = self.cur
+        self.i += 1
+        return token
+
+    def _fail(self, message: str) -> "SQLError":
+        return SQLError(message, self.sql, self.cur.pos)
+
+    def expect_keyword(self, word: str) -> None:
+        if not (self.cur.kind == "ident" and
+                self.cur.text.upper() == word):
+            raise self._fail(f"expected {word}")
+        self._advance()
+
+    def expect_op(self, op: str) -> None:
+        if not (self.cur.kind == "op" and self.cur.text == op):
+            raise self._fail(f"expected {op!r}")
+        self._advance()
+
+    def identifier(self, what: str) -> str:
+        if self.cur.kind != "ident" or \
+                self.cur.text.upper() in _KEYWORDS:
+            raise self._fail(f"expected {what}")
+        return self._advance().text
+
+    def number(self) -> float:
+        if self.cur.kind != "num":
+            raise self._fail("expected a number")
+        return float(self._advance().text)
+
+    # ---- grammar ------------------------------------------------------ #
+    def statement(self) -> ParsedSQL:
+        self.expect_keyword("SELECT")
+        agg_token = self.cur
+        agg_name = self.identifier("an aggregate function").upper()
+        try:
+            agg = AggFunc(agg_name)
+        except ValueError:
+            raise SQLError(
+                f"unknown aggregate {agg_name!r} (one of "
+                f"{'/'.join(a.value for a in AggFunc)})",
+                self.sql, agg_token.pos) from None
+        self.expect_op("(")
+        attr_pos = self.cur.pos
+        if self.cur.kind == "op" and self.cur.text == "*":
+            if agg is not AggFunc.COUNT:
+                raise self._fail(f"{agg.value}(*) is not defined; "
+                                 "name a column")
+            self._advance()
+            attr: Optional[str] = None
+            attr_pos = agg_token.pos
+        else:
+            attr = self.identifier("an aggregation column")
+        self.expect_op(")")
+        self.expect_keyword("FROM")
+        table = self.identifier("a table name")
+        conditions, positions = self.where_clause()
+        if self.cur.kind != "end":
+            raise self._fail("trailing input after statement")
+        return ParsedSQL(agg, attr, table, tuple(conditions),
+                         attr_pos=attr_pos,
+                         condition_positions=tuple(positions))
+
+    def where_clause(self) -> Tuple[List[Tuple[str, float, float]],
+                                    List[int]]:
+        if self.cur.kind == "end":
+            return [], []
+        self.expect_keyword("WHERE")
+        bounds: Dict[str, Tuple[float, float]] = {}
+        pos_of: Dict[str, int] = {}
+        order: List[str] = []
+        while True:
+            pos, col, lo, hi = self.predicate()
+            if col in bounds:
+                a, b = bounds[col]
+                lo, hi = max(a, lo), min(b, hi)
+            else:
+                order.append(col)
+                pos_of[col] = pos
+            bounds[col] = (lo, hi)
+            if self.cur.kind == "ident" and \
+                    self.cur.text.upper() == "AND":
+                self._advance()
+                continue
+            break
+        return ([(col, *bounds[col]) for col in order],
+                [pos_of[col] for col in order])
+
+    def predicate(self) -> Tuple[int, str, float, float]:
+        pos = self.cur.pos
+        col = self.identifier("a predicate column")
+        if self.cur.kind == "ident" and \
+                self.cur.text.upper() == "BETWEEN":
+            self._advance()
+            lo = self.number()
+            self.expect_keyword("AND")
+            hi = self.number()
+            return pos, col, lo, hi
+        if self.cur.kind != "op" or \
+                self.cur.text not in (">=", "<=", ">", "<", "="):
+            raise self._fail("expected BETWEEN or a comparison "
+                             "(>=, <=, >, <, =)")
+        op = self._advance().text
+        value = self.number()
+        if op == ">=":
+            return pos, col, value, math.inf
+        if op == "<=":
+            return pos, col, -math.inf, value
+        if op == ">":        # strict: tighten to the next float
+            return pos, col, math.nextafter(value, math.inf), math.inf
+        if op == "<":
+            return (pos, col, -math.inf,
+                    math.nextafter(value, -math.inf))
+        return pos, col, value, value   # "=" - a degenerate interval
+
+
+def parse_sql(sql: str) -> ParsedSQL:
+    """Parse one statement of the supported subset.
+
+    Raises :class:`SQLError` (a ``ValueError``) with the source position
+    on any syntax problem; binding against an engine template is
+    :func:`compile_sql`'s job.
+    """
+    return _Parser(sql).statement()
+
+
+def compile_sql(sql: str, agg_attr: str,
+                predicate_attrs: Sequence[str],
+                stat_attrs: Optional[Sequence[str]] = None) -> Query:
+    """Parse and bind one statement against an engine template.
+
+    ``agg_attr`` substitutes for ``COUNT(*)``; ``predicate_attrs``
+    fixes the rectangle's dimension order, with unconstrained
+    dimensions left unbounded; ``stat_attrs``, when given, is the set
+    of columns the synopsis tracks statistics for and the aggregation
+    column is validated against it (``COUNT`` aside).  Binding errors -
+    an untracked aggregation column, a WHERE column outside the
+    template, or a provably empty interval - raise :class:`SQLError`
+    pointing at the statement.
+    """
+    parsed = parse_sql(sql)
+    pred_attrs = tuple(predicate_attrs)
+    attr = parsed.attr if parsed.attr is not None else agg_attr
+    if stat_attrs is not None and parsed.agg is not AggFunc.COUNT \
+            and attr not in tuple(stat_attrs):
+        raise SQLError(
+            f"aggregation column {attr!r} is not tracked by this "
+            f"synopsis (tracked: {', '.join(stat_attrs)})", sql,
+            parsed.attr_pos)
+    for (col, lo, hi), pos in zip(parsed.conditions,
+                                  parsed.condition_positions):
+        if col not in pred_attrs:
+            raise SQLError(
+                f"column {col!r} is not a predicate attribute of this "
+                f"synopsis (template: {', '.join(pred_attrs)})", sql,
+                pos)
+        if lo > hi:
+            raise SQLError(
+                f"empty interval for column {col!r}: "
+                f"[{lo!r}, {hi!r}]", sql, pos)
+    bound = {col: (lo, hi) for col, lo, hi in parsed.conditions}
+    lo = tuple(bound.get(a, (-math.inf, math.inf))[0]
+               for a in pred_attrs)
+    hi = tuple(bound.get(a, (-math.inf, math.inf))[1]
+               for a in pred_attrs)
+    return Query(parsed.agg, attr, pred_attrs, Rectangle(lo, hi))

@@ -1,0 +1,511 @@
+"""End-to-end tests for the HTTP serving layer (repro.service).
+
+The acceptance spine of ISSUE 5: a live server on an ephemeral port,
+ingest over HTTP, the same aggregates through ``/sql`` and ``/query``,
+and answers bit-identical to in-process ``query_many`` with the cache
+disabled; plus protocol errors, stats/metrics surfaces, cache
+invalidation on every mutation kind, and micro-batch grouping of
+concurrent requests.
+"""
+
+import json
+import math
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.janus import JanusAQP, JanusConfig
+from repro.core.queries import AggFunc, Query, Rectangle
+from repro.core.sharded import ShardedJanusAQP
+from repro.core.table import Table
+from repro.datasets.synthetic import nyc_taxi
+from repro.service import ServiceClient, ServiceError, serve_background
+
+N_ROWS = 9_000
+N_SEED = 6_000
+ALL_AGGS = (AggFunc.SUM, AggFunc.COUNT, AggFunc.AVG, AggFunc.MIN,
+            AggFunc.MAX, AggFunc.VARIANCE, AggFunc.STDDEV)
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return nyc_taxi(n=N_ROWS, seed=3)
+
+
+def build_single(ds):
+    table = Table(ds.schema, capacity=ds.n + 16)
+    table.insert_many(ds.data[:N_SEED])
+    janus = JanusAQP(table, ds.agg_attr, ds.predicate_attrs,
+                     config=JanusConfig(k=16, sample_rate=0.04,
+                                        check_every=10 ** 9, seed=0))
+    janus.initialize()
+    return janus
+
+
+def build_sharded(ds, n_shards=3):
+    sharded = ShardedJanusAQP(
+        ds.schema, ds.agg_attr, ds.predicate_attrs, n_shards=n_shards,
+        config=JanusConfig(k=8, sample_rate=0.04, check_every=10 ** 9,
+                           seed=0))
+    sharded.insert_many(ds.data[:N_SEED])
+    sharded.initialize()
+    return sharded
+
+
+def workload(ds, n=21):
+    rng = np.random.default_rng(11)
+    queries = []
+    for i in range(n):
+        lo, hi = sorted(rng.uniform(0, 500, 2))
+        queries.append(Query(ALL_AGGS[i % len(ALL_AGGS)], ds.agg_attr,
+                             ds.predicate_attrs,
+                             Rectangle((lo,), (hi,))))
+    return queries
+
+
+def sql_for(query: Query) -> str:
+    col = query.predicate_attrs[0]
+    return (f"SELECT {query.agg.value}({query.attr}) FROM t "
+            f"WHERE {col} BETWEEN {float(query.rect.lo[0])!r} "
+            f"AND {float(query.rect.hi[0])!r}")
+
+
+class TestEndToEnd:
+    """The ISSUE 5 acceptance path, single-instance and sharded."""
+
+    @pytest.mark.parametrize("build", [build_single, build_sharded],
+                             ids=["single", "sharded"])
+    def test_http_matches_inprocess_bit_identically(self, ds, build):
+        engine = build(ds)
+        queries = workload(ds)
+        with serve_background(engine, port=0,
+                              cache_enabled=False) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                # ingest over HTTP, then answer over both query planes
+                tids = client.insert_many(ds.data[N_SEED:N_SEED + 500])
+                assert len(tids) == 500
+                client.delete_many(tids[:100])
+                via_query = client.query_many(queries)
+                via_sql = client.sql_many([sql_for(q) for q in queries])
+            expected = engine.query_many(queries)
+            for got, sqlgot, want in zip(via_query, via_sql, expected):
+                for name in ("estimate", "variance_catchup",
+                             "variance_sample", "exact", "n_covered",
+                             "n_partial"):
+                    want_v = getattr(want, name)
+                    if isinstance(want_v, float) and math.isnan(want_v):
+                        assert math.isnan(getattr(got, name))
+                        assert math.isnan(getattr(sqlgot, name))
+                        continue
+                    assert getattr(got, name) == want_v
+                    assert getattr(sqlgot, name) == want_v
+
+    def test_single_query_and_sql_forms(self, ds):
+        engine = build_single(ds)
+        query = workload(ds, n=1)[0]
+        with serve_background(engine, port=0) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                assert client.health()
+                a = client.query(query)
+                b = client.sql(sql_for(query))
+                assert a.estimate == b.estimate
+                assert a.ci() == b.ci()
+
+    def test_insert_delete_roundtrip_and_epochs(self, ds):
+        engine = build_single(ds)
+        with serve_background(engine, port=0) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                before = len(engine.table)
+                tids = client.insert_many(ds.data[N_SEED:N_SEED + 64])
+                assert len(engine.table) == before + 64
+                assert client.delete_many(tids) == 64
+                assert len(engine.table) == before
+                # epochs in responses are monotone
+                raw1 = client._json("POST", "/insert", {
+                    "rows": ds.data[N_SEED:N_SEED + 1].tolist()})
+                raw2 = client._json("POST", "/delete",
+                                    {"tids": raw1["tids"]})
+                assert raw2["epoch"] > raw1["epoch"]
+
+
+class TestCacheBehaviour:
+    def test_repeat_query_hits_cache_with_identical_answer(self, ds):
+        engine = build_single(ds)
+        query = workload(ds, n=1)[0]
+        with serve_background(engine, port=0) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                first = client.query(query)
+                second = client.query(query)
+                via_sql = client.sql(sql_for(query))
+            assert not first.details["cached"]
+            assert second.details["cached"]
+            assert second.estimate == first.estimate
+            assert second.variance == first.variance
+            # the SQL plane shares the cache with the structured plane
+            assert via_sql.details["cached"]
+            assert handle.server.cache.stats.hits == 2
+
+    @pytest.mark.parametrize("mutate", [
+        lambda c, e, ds: c.insert_many(ds.data[N_SEED:N_SEED + 32]),
+        lambda c, e, ds: c.delete_many(list(range(32))),
+        lambda c, e, ds: e.reoptimize(),
+    ], ids=["insert", "delete", "reoptimize"])
+    def test_mutations_invalidate_cache(self, ds, mutate):
+        engine = build_single(ds)
+        query = Query(AggFunc.COUNT, ds.agg_attr, ds.predicate_attrs,
+                      Rectangle((-math.inf,), (math.inf,)))
+        with serve_background(engine, port=0) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                client.query(query)                     # prime
+                cached = client._json("POST", "/query",
+                                      {"query": _qdict(query)})
+                assert cached["cached"]
+                mutate(client, engine, ds)
+                fresh = client._json("POST", "/query",
+                                     {"query": _qdict(query)})
+                assert not fresh["cached"]
+                expected = engine.query(query)
+                assert fresh["result"]["estimate"] == expected.estimate
+
+    def test_cache_disabled_never_reports_hits(self, ds):
+        engine = build_single(ds)
+        query = workload(ds, n=1)[0]
+        with serve_background(engine, port=0,
+                              cache_enabled=False) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                for _ in range(3):
+                    payload = client._json("POST", "/query",
+                                           {"query": _qdict(query)})
+                    assert not payload["cached"]
+            assert handle.server.cache.stats.hits == 0
+
+
+class TestMicroBatching:
+    def test_concurrent_requests_group_into_one_engine_batch(self, ds):
+        engine = build_single(ds)
+        queries = workload(ds, n=32)
+        barrier = threading.Barrier(16)
+
+        def one(query):
+            with ServiceClient(handle.host, handle.port) as client:
+                barrier.wait(timeout=10)
+                return client.query(query)
+
+        with serve_background(engine, port=0, cache_enabled=False,
+                              max_batch=64,
+                              max_linger_ms=25.0) as handle:
+            with ThreadPoolExecutor(max_workers=16) as pool:
+                results = list(pool.map(one, queries[:16]))
+            stats = handle.server.batcher.stats
+        assert all(math.isfinite(r.estimate) for r in results)
+        assert stats.max_batch_size >= 8, stats.to_dict()
+        assert stats.n_queries == 16
+
+    def test_batched_answers_equal_sequential(self, ds):
+        engine = build_single(ds)
+        queries = workload(ds, n=12)
+        expected = engine.query_many(queries)
+        with serve_background(engine, port=0, cache_enabled=False,
+                              max_linger_ms=10.0) as handle:
+            def one(i):
+                with ServiceClient(handle.host, handle.port) as client:
+                    return client.query(queries[i])
+            with ThreadPoolExecutor(max_workers=12) as pool:
+                results = list(pool.map(one, range(12)))
+        for got, want in zip(results, expected):
+            if math.isnan(want.estimate):
+                assert math.isnan(got.estimate)
+            else:
+                assert got.estimate == want.estimate
+
+
+class TestProtocolErrors:
+    @pytest.fixture(scope="class")
+    def served(self, ds):
+        engine = build_single(ds)
+        with serve_background(engine, port=0) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                yield handle, client
+
+    def test_unknown_route_404(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as err:
+            client._json("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_wrong_method_405(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as err:
+            client._json("GET", "/query")
+        assert err.value.status == 405
+
+    def test_invalid_json_400(self, served):
+        handle, _ = served
+        import http.client
+        conn = http.client.HTTPConnection(handle.host, handle.port,
+                                          timeout=10)
+        conn.request("POST", "/query", body=b"{not json",
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        conn.close()
+        assert response.status == 400
+        assert "invalid JSON" in payload["error"]
+
+    def test_bad_sql_400_with_position(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as err:
+            client.sql("SELECT NOPE(x) FROM t")
+        assert err.value.status == 400
+        assert "unknown aggregate" in str(err.value)
+        assert "position" in str(err.value)
+
+    def test_off_template_sql_400(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as err:
+            client.sql("SELECT SUM(trip_distance) FROM t "
+                       "WHERE bogus BETWEEN 0 AND 1")
+        assert "not a predicate attribute" in str(err.value)
+
+    def test_malformed_query_payload_400(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as err:
+            client._json("POST", "/query", {"query": {"agg": "SUM"}})
+        assert err.value.status == 400
+
+    def test_off_template_agg_attr_400(self, served):
+        _, client = served
+        from repro.core.queries import AggFunc, Query, Rectangle
+        bad = Query(AggFunc.SUM, "no_such_col", ("pickup_time",),
+                    Rectangle((0.0,), (1.0,)))
+        with pytest.raises(ServiceError) as err:
+            client.query(bad)
+        assert err.value.status == 400
+        assert "not tracked" in str(err.value)
+
+    def test_off_template_predicate_attrs_400(self, served):
+        _, client = served
+        from repro.core.queries import AggFunc, Query, Rectangle
+        bad = Query(AggFunc.SUM, "trip_distance", ("bogus",),
+                    Rectangle((0.0,), (1.0,)))
+        with pytest.raises(ServiceError) as err:
+            client.query(bad)
+        assert err.value.status == 400
+        assert "do not match" in str(err.value)
+
+    def test_poisoned_batch_is_isolated_per_query(self):
+        """An engine failure on a mixed batch must only fail the
+        offending query, not its co-batched neighbours."""
+        import asyncio
+        from repro.service.batcher import MicroBatcher
+
+        def execute(queries):
+            if any(q == "bad" for q in queries):
+                if len(queries) > 1:
+                    raise ValueError("poisoned batch")
+                raise ValueError("bad query")
+            return [f"ok:{q}" for q in queries]
+
+        async def scenario():
+            batcher = MicroBatcher(execute, max_batch=8,
+                                   max_linger_ms=5.0)
+            tasks = [asyncio.ensure_future(batcher.submit(q))
+                     for q in ("a", "bad", "b", "c")]
+            results = await asyncio.gather(*tasks,
+                                           return_exceptions=True)
+            await batcher.close()
+            return results, batcher.stats
+
+        results, stats = asyncio.run(scenario())
+        assert results[0] == "ok:a"
+        assert isinstance(results[1], ValueError)
+        assert results[2] == "ok:b"
+        assert results[3] == "ok:c"
+        assert stats.n_isolated == 3        # good ones re-ran solo
+
+    def test_bad_content_length_gets_a_400_response(self, served):
+        handle, _ = served
+        import socket
+        with socket.create_connection((handle.host, handle.port),
+                                      timeout=10) as sock:
+            sock.sendall(b"POST /query HTTP/1.1\r\n"
+                         b"Content-Length: abc\r\n\r\n")
+            response = sock.recv(4096).decode()
+        assert response.startswith("HTTP/1.1 400")
+        assert "Content-Length" in response
+
+    def test_oversized_header_gets_a_400_response(self, served):
+        handle, _ = served
+        import socket
+        with socket.create_connection((handle.host, handle.port),
+                                      timeout=10) as sock:
+            sock.sendall(b"GET /health HTTP/1.1\r\n"
+                         b"X-Big: " + b"x" * 70_000 + b"\r\n\r\n")
+            response = sock.recv(4096).decode()
+        assert response.startswith("HTTP/1.1 400")
+        assert "too long" in response
+
+    def test_header_flood_gets_a_431_response(self, served):
+        """Endless small headers must not grow server memory without
+        bound: the total-header cap answers 431 and closes."""
+        handle, _ = served
+        import socket
+        flood = b"".join(b"x-%d: a\r\n" % i for i in range(9_000))
+        with socket.create_connection((handle.host, handle.port),
+                                      timeout=10) as sock:
+            sock.sendall(b"GET /health HTTP/1.1\r\n" + flood + b"\r\n")
+            response = sock.recv(4096).decode()
+        assert response.startswith("HTTP/1.1 431")
+
+    def test_non_finite_rows_rejected(self, served):
+        """A NaN row would poison SUM/AVG deltas for every client."""
+        _, client = served
+        for bad in (math.nan, math.inf, -math.inf):
+            with pytest.raises(ServiceError) as err:
+                client._json("POST", "/insert", {
+                    "rows": [[0.5, bad, 1.0, 1.0, 1.0, 1.0]]})
+            assert err.value.status == 400
+            assert "finite" in str(err.value)
+
+    def test_dead_tid_delete_400(self, served):
+        _, client = served
+        with pytest.raises(ServiceError) as err:
+            client.delete_many([10 ** 9])
+        assert err.value.status == 400
+
+    def test_bad_requests_counted(self, served):
+        handle, client = served
+        before = handle.server.n_bad_requests
+        with pytest.raises(ServiceError):
+            client._json("GET", "/nope")
+        assert handle.server.n_bad_requests == before + 1
+
+
+class TestObservability:
+    def test_stats_shape(self, ds):
+        engine = build_sharded(ds)
+        with serve_background(engine, port=0) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                client.query_many(workload(ds, n=4))
+                stats = client.stats()
+        assert stats["engine"]["rows"] == N_SEED
+        assert stats["engine"]["n_shards"] == 3
+        assert sum(stats["engine"]["shard_sizes"]) == N_SEED
+        assert stats["engine"]["data_epoch"] > 0
+        assert stats["batcher"]["n_queries"] == 4
+        assert stats["cache"]["enabled"]
+        assert stats["requests"]["/query"] == 1
+        assert stats["uptime_seconds"] >= 0
+
+    def test_metrics_exposition(self, ds):
+        engine = build_single(ds)
+        with serve_background(engine, port=0) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                client.query(workload(ds, n=1)[0])
+                text = client.metrics()
+        assert f"janus_service_engine_rows {N_SEED}" in text
+        assert "janus_service_batches_total 1" in text
+        assert 'janus_service_requests_total{route="/query"} 1' in text
+
+
+class TestLifecycle:
+    def test_idle_connections_are_closed_after_timeout(self, ds):
+        """A connection that never sends a request must not park a
+        handler task forever."""
+        import socket
+        import time
+        engine = build_single(ds)
+        with serve_background(engine, port=0,
+                              idle_timeout=0.3) as handle:
+            with socket.create_connection((handle.host, handle.port),
+                                          timeout=10) as sock:
+                deadline = time.time() + 10
+                while time.time() < deadline:
+                    if sock.recv(64) == b"":    # server closed it
+                        break
+                else:
+                    pytest.fail("idle connection was never closed")
+            deadline = time.time() + 5
+            while handle.server._conn_tasks and time.time() < deadline:
+                time.sleep(0.02)
+            assert not handle.server._conn_tasks
+
+    def test_stop_with_connected_idle_client_does_not_hang(self, ds):
+        """A parked keep-alive connection must not stall shutdown
+        (Python 3.12.1+ wait_closed blocks until transports close)."""
+        import asyncio
+        from repro.service import AQPServer
+        engine = build_single(ds)
+
+        async def scenario():
+            server = AQPServer(engine, port=0)
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GET /health HTTP/1.1\r\n\r\n")
+            await writer.drain()
+            await reader.readuntil(b"}")        # response arrived,
+            await asyncio.wait_for(server.stop(), timeout=10)
+            writer.close()                      # connection still open
+            return True
+
+        assert asyncio.run(scenario())
+
+    def test_server_restarts_after_stop(self, ds):
+        """stop() then start() must yield a fully working server (the
+        engine executor is recreated, not reused after shutdown)."""
+        import asyncio
+        from repro.service import AQPServer
+        engine = build_single(ds)
+        query = workload(ds, n=1)[0]
+        expected = engine.query(query).estimate
+
+        async def scenario():
+            server = AQPServer(engine, port=0, cache_enabled=False)
+            estimates = []
+            for _ in range(2):
+                host, port = await server.start()
+                loop = asyncio.get_running_loop()
+                def call():
+                    with ServiceClient(host, port) as client:
+                        return client.query(query).estimate
+                estimates.append(
+                    await loop.run_in_executor(None, call))
+                await server.stop()
+            return estimates
+
+        estimates = asyncio.run(scenario())
+        assert estimates == [expected, expected]
+
+
+class TestCLI:
+    def test_parser_defaults_and_engine_build(self):
+        from repro.service.__main__ import build_engine, build_parser
+        parser = build_parser()
+        args = parser.parse_args(["--rows", "2000", "--shards", "2",
+                                  "--k", "8", "--port", "0"])
+        assert args.host == "127.0.0.1"
+        assert args.max_batch == 64 and not args.no_cache
+        engine = build_engine(args)
+        assert engine.n_shards == 2
+        assert len(engine.table) == 2000
+        engine.close()
+
+    def test_warm_start_flag(self, ds, tmp_path):
+        from repro.core.persist import save_sharded
+        from repro.service.__main__ import build_engine, build_parser
+        engine = build_sharded(ds, n_shards=2)
+        save_sharded(engine, tmp_path / "snap")
+        engine.close()
+        args = build_parser().parse_args(
+            ["--load", str(tmp_path / "snap")])
+        restored = build_engine(args)
+        assert restored.n_shards == 2
+        assert len(restored.table) == N_SEED
+        restored.close()
+
+
+def _qdict(query: Query) -> dict:
+    from repro.broker.requests import query_to_dict
+    return query_to_dict(query)
