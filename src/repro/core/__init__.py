@@ -17,6 +17,7 @@ from .stream import StreamClient, StreamDriver, StreamStats
 from .templates import HeuristicRouter, SynopsisManager
 from .merge import (merge_additive, merge_avg, merge_minmax,
                     merge_moments, merge_results)
+from .routing import RoutingStats, ShardSummary
 from .sharded import ShardedJanusAQP
 
 __all__ = [
@@ -29,6 +30,6 @@ __all__ = [
     "ancestor_at", "auto_partial_repartition", "partial_repartition",
     "StreamClient", "StreamDriver", "StreamStats", "SharedPoolSynopses",
     "load_sharded", "load_synopsis", "save_sharded", "save_synopsis",
-    "ShardedJanusAQP", "merge_additive",
+    "ShardedJanusAQP", "RoutingStats", "ShardSummary", "merge_additive",
     "merge_avg", "merge_minmax", "merge_moments", "merge_results",
 ]

@@ -36,6 +36,16 @@ when all contributing shards are exact) and accumulates the frontier
 sizes, so the combined :class:`~repro.core.queries.QueryResult` carries
 a valid normal-approximation confidence interval via the usual
 :meth:`~repro.core.queries.QueryResult.ci`.
+
+The rules are closed under *subsets*: a shard with zero live rows in
+the query rectangle contributes an exact 0 to the additive aggregates,
+nothing to the AVG/moment normalizers, and no MIN/MAX candidate, so
+merging only the shards that can contribute yields the same answer as
+the full fan-out.  The query router (:mod:`repro.core.routing`) relies
+on this to skip provably-empty shards; ``tests/test_routing.py`` pins
+the subset/full equivalence per aggregate, including the degenerate
+merge over no results at all (SUM/COUNT: exact 0; everything else:
+NaN, not exact).
 """
 
 from __future__ import annotations

@@ -37,11 +37,15 @@ from .dpt import DynamicPartitionTree
 from .janus import JanusAQP, JanusConfig
 from .node import DPTNode
 from .queries import AggFunc, Rectangle
+from .routing import ShardSummary
 from .sharded import ShardedJanusAQP
 from .table import Table
 
 _FORMAT_VERSION = 1
-_SHARDED_FORMAT_VERSION = 1
+#: v2 adds the query router's placement template (``route_attr``,
+#: ``attr_bounds``) and the per-shard routing summaries; v1 manifests
+#: still load (summaries are rebuilt exactly from the restored tables).
+_SHARDED_FORMAT_VERSION = 2
 _MANIFEST = "manifest.npz"
 
 
@@ -258,10 +262,12 @@ def save_sharded(sharded: ShardedJanusAQP,
 
     Layout: ``shard<i>.npz`` (one :func:`save_synopsis` archive per
     *initialized* shard) plus ``manifest.npz`` holding the coordinator
-    state - placement mode and ``range_block``, the global tid maps,
-    the per-shard table contents (tids + rows + tid counter) and the
-    construction template.  Uninitialized shards (never held a row)
-    save no archive and come back uninitialized.
+    state - placement mode (including ``route_attr``/``attr_bounds``
+    for ``"attr"`` placement), ``range_block``, the global tid maps,
+    the per-shard table contents (tids + rows + tid counter), the
+    per-shard routing summaries and the construction template.
+    Uninitialized shards (never held a row) save no archive and come
+    back uninitialized.
 
     The in-memory snapshot is gathered under the coordinator map lock
     plus every shard's lock (acquired in shard order, the same order as
@@ -320,11 +326,16 @@ def save_sharded(sharded: ShardedJanusAQP,
             "initialized": initialized,
             "table_next_tids": [t._next_tid for t in sharded.tables],
             "config": config,
+            "route_attr": sharded.route_attr,
+            "has_attr_bounds": sharded.attr_bounds is not None,
         }
         arrays = {
             "meta": json.dumps(meta),
             "shard_of": shard_of.copy(),
             "local_tid": local_tid.copy(),
+            "attr_bounds": (sharded.attr_bounds.copy()
+                            if sharded.attr_bounds is not None
+                            else np.empty(0)),
         }
         for s, table in enumerate(sharded.tables):
             tids = table.live_tids()
@@ -332,6 +343,11 @@ def save_sharded(sharded: ShardedJanusAQP,
             arrays[f"table{s}_rows"] = (
                 table.rows_for(tids) if tids.size else
                 np.empty((0, len(sharded.schema))))
+            # Routing summaries are persisted verbatim, not rebuilt, so
+            # the restored fleet prunes the exact same (query, shard)
+            # pairs the saved one would have.
+            for key, arr in sharded.summaries[s].state_arrays().items():
+                arrays[f"summary{s}_{key}"] = arr
 
     # Locks released: pay for compression and file writes here.
     for s, payload in payloads.items():
@@ -355,7 +371,8 @@ def load_sharded(dir_path: Union[str, Path]) -> ShardedJanusAQP:
         raise FileNotFoundError(f"no {_MANIFEST} under {src}")
     with np.load(manifest, allow_pickle=False) as archive:
         meta = json.loads(str(archive["meta"]))
-        if meta["version"] != _SHARDED_FORMAT_VERSION:
+        version = int(meta["version"])
+        if version not in (1, _SHARDED_FORMAT_VERSION):
             raise ValueError(f"unsupported sharded snapshot version "
                              f"{meta['version']}")
         cfg_dict = dict(meta["config"])
@@ -366,11 +383,23 @@ def load_sharded(dir_path: Union[str, Path]) -> ShardedJanusAQP:
             n_shards=int(meta["n_shards"]), config=config,
             stat_attrs=meta["stat_attrs"],
             sharding=meta["sharding"],
-            range_block=int(meta["range_block"]))
+            range_block=int(meta["range_block"]),
+            route_attr=meta.get("route_attr"))
+        if version >= 2 and meta.get("has_attr_bounds"):
+            sharded.attr_bounds = np.asarray(archive["attr_bounds"],
+                                             dtype=np.float64).copy()
         for s in range(sharded.n_shards):
             _restore_table(sharded.tables[s], archive[f"table{s}_tids"],
                            archive[f"table{s}_rows"],
                            int(meta["table_next_tids"][s]))
+            if version >= 2:
+                sharded.summaries[s] = ShardSummary.from_state_arrays(
+                    {key: archive[f"summary{s}_{key}"]
+                     for key in ("meta", "lo", "hi", "edges", "counts")})
+            else:
+                # v1 snapshots predate the router: rebuild the summary
+                # exactly from the shard's restored live rows.
+                sharded._refresh_summary(s)
         next_tid = int(meta["next_tid"])
         sharded._ensure_tid_capacity(max(next_tid, 1))
         sharded._shard_of[:next_tid] = archive["shard_of"]

@@ -1,0 +1,324 @@
+"""Query-pruning shard router: bounding summaries and batch planning.
+
+A :class:`~repro.core.sharded.ShardedJanusAQP` fleet historically
+broadcast every query to every shard and merged N answers - correct,
+but the classic read amplification of partitioned serving (0.32x query
+throughput at 4 shards, ``BENCH_shard_scaling.json``).  The paper's
+partition tree already prunes *within* a shard through frontier
+classification; this module lifts the same idea *across* shards: the
+coordinator keeps a cheap conservative summary of each shard's live
+predicate values and routes each query only to shards whose data can
+intersect its rectangle.
+
+:class:`ShardSummary` holds, per predicate attribute,
+
+* a **bounding interval** ``[lo, hi]`` over the shard's live values -
+  widened on insert, *never* shrunk on delete (a deleted extremum
+  cannot be cheaply re-derived), re-tightened whenever the shard
+  re-optimizes (the rebuild already walks the live data);
+* a **coarse histogram** of exact ``int64`` live counts over fixed bin
+  edges.  The first and last bins extend to +-infinity, so values
+  outside the edge range (data drift since the edges were struck) are
+  clamped into the boundary bins and the counts stay exact under the
+  clamped semantics.  Inserts increment, deletes decrement, and a
+  refresh re-bins from scratch, so counts are live-row-exact whenever
+  maintenance is serialized and conservatively *high* under the
+  coordinator's race ordering (inserts are counted after the rows are
+  queryable, deletes are uncounted before the rows disappear).
+
+Both signals are one-sided: they may claim a shard *could* hold
+matching rows when it does not, but never the reverse.
+:meth:`ShardSummary.may_contain_many` therefore proves, per query,
+``shard has zero live rows inside this rectangle`` - exactly the
+"provably empty" condition the merge rules of :mod:`repro.core.merge`
+need to skip a shard without touching its answer: a shard with no live
+rows in the region contributes an exact zero to SUM/COUNT, nothing to
+AVG's normalizer or the VARIANCE moments, and no live MIN/MAX
+candidate, so dropping it from the merge leaves the combined estimate,
+variance and exactness untouched (``tests/test_routing.py`` pins all
+seven aggregates, including the MIN/MAX exactness corner).
+
+:class:`RoutingStats` counts what the router did - queries planned,
+shard-queries pruned, and a shards-touched histogram - surfaced through
+``/stats`` and ``/metrics`` on the serving tier.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ShardSummary", "RoutingStats", "DEFAULT_BINS"]
+
+#: Default histogram resolution per predicate attribute.  32 bins keep
+#: the summary at a few hundred bytes per shard while still resolving
+#: range predicates an order of magnitude narrower than a shard's span.
+DEFAULT_BINS = 32
+
+
+class ShardSummary:
+    """Conservative bounding summary of one shard's live predicate rows.
+
+    Thread safety: mutators and :meth:`refresh` serialize on an internal
+    lock.  The planner reads without the lock - every field it reads is
+    replaced atomically (numpy array rebinds) and both signals are
+    one-sided, so a torn read can only make the router *less* eager,
+    never unsound, provided the coordinator orders maintenance
+    conservatively (count rows before they die, after they are born).
+    """
+
+    def __init__(self, n_attrs: int, n_bins: int = DEFAULT_BINS) -> None:
+        if n_attrs < 1:
+            raise ValueError("summary needs at least one attribute")
+        if n_bins < 1:
+            raise ValueError("summary needs at least one bin")
+        self.n_attrs = int(n_attrs)
+        self.n_bins = int(n_bins)
+        self._lock = threading.Lock()
+        self.n_live = 0
+        self.lo = np.full(n_attrs, np.inf)
+        self.hi = np.full(n_attrs, -np.inf)
+        #: ``(n_attrs, n_bins + 1)`` fixed bin edges, or ``None`` until
+        #: the first rows arrive.  Edges only change on :meth:`refresh`.
+        self.edges: Optional[np.ndarray] = None
+        self.counts = np.zeros((n_attrs, n_bins), dtype=np.int64)
+        #: Set when non-finite predicate values were seen; the summary
+        #: then refuses to prune until a refresh re-establishes order.
+        self.tainted = False
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def _bin_of(self, coords: np.ndarray) -> np.ndarray:
+        """Bin index per (row, attr), clamped into the edge bins."""
+        idx = np.empty(coords.shape, dtype=np.intp)
+        for j in range(self.n_attrs):
+            idx[:, j] = np.searchsorted(self.edges[j], coords[:, j],
+                                        side="right") - 1
+        return np.clip(idx, 0, self.n_bins - 1)
+
+    def _apply(self, coords: np.ndarray, sign: int) -> None:
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != self.n_attrs:
+            raise ValueError("coords must be (n, n_attrs)")
+        if coords.shape[0] == 0:
+            return
+        with self._lock:
+            if not np.isfinite(coords).all():
+                self.tainted = True
+                self.n_live += sign * coords.shape[0]
+                return
+            if sign > 0:
+                self.lo = np.minimum(self.lo, coords.min(axis=0))
+                self.hi = np.maximum(self.hi, coords.max(axis=0))
+                if self.edges is None:
+                    self._strike_edges(self.lo, self.hi)
+            self.n_live += sign * coords.shape[0]
+            if self.edges is not None:
+                idx = self._bin_of(coords)
+                counts = self.counts.copy()
+                for j in range(self.n_attrs):
+                    counts[j] += sign * np.bincount(
+                        idx[:, j], minlength=self.n_bins)
+                self.counts = counts
+
+    def add(self, coords: np.ndarray) -> None:
+        """Count newly live rows' predicate coordinates (after insert)."""
+        self._apply(coords, +1)
+
+    def remove(self, coords: np.ndarray) -> None:
+        """Uncount rows about to be deleted (call *before* the delete,
+        so a concurrent :meth:`refresh` can only overcount)."""
+        self._apply(coords, -1)
+
+    def _strike_edges(self, lo: np.ndarray, hi: np.ndarray) -> None:
+        """Fix bin edges over ``[lo, hi]`` (degenerate spans widen)."""
+        span_lo = np.where(np.isfinite(lo), lo, 0.0)
+        span_hi = np.where(np.isfinite(hi), hi, 0.0)
+        flat = span_hi <= span_lo
+        span_hi = np.where(flat, span_lo + 1.0, span_hi)
+        self.edges = np.linspace(span_lo, span_hi,
+                                 self.n_bins + 1, axis=1)
+
+    def refresh(self, coords: np.ndarray) -> None:
+        """Exact rebuild from the shard's current live predicate rows.
+
+        Called when the shard re-optimizes (the rebuild is already
+        O(live rows)): bounds tighten back to the live extrema, edges
+        are re-struck over them, counts re-bin from scratch, and the
+        taint flag clears if the data is finite again.
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != self.n_attrs:
+            raise ValueError("coords must be (n, n_attrs)")
+        with self._lock:
+            self.n_live = coords.shape[0]
+            if coords.shape[0] == 0:
+                self.lo = np.full(self.n_attrs, np.inf)
+                self.hi = np.full(self.n_attrs, -np.inf)
+                self.edges = None
+                self.counts = np.zeros((self.n_attrs, self.n_bins),
+                                       dtype=np.int64)
+                self.tainted = False
+                return
+            if not np.isfinite(coords).all():
+                self.tainted = True
+                return
+            self.lo = coords.min(axis=0)
+            self.hi = coords.max(axis=0)
+            self._strike_edges(self.lo, self.hi)
+            idx = self._bin_of(coords)
+            counts = np.zeros((self.n_attrs, self.n_bins), dtype=np.int64)
+            for j in range(self.n_attrs):
+                counts[j] = np.bincount(idx[:, j], minlength=self.n_bins)
+            self.counts = counts
+            self.tainted = False
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def may_contain_many(self, lo: np.ndarray, hi: np.ndarray
+                         ) -> np.ndarray:
+        """``(n_queries,)`` bool: could live rows fall in each rectangle?
+
+        ``lo``/``hi`` are ``(n_queries, n_attrs)`` rectangle bounds in
+        summary attribute order.  ``False`` is a *proof* of emptiness;
+        ``True`` merely fails to prove it.
+        """
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        nq = lo.shape[0]
+        if self.n_live <= 0:
+            return np.zeros(nq, dtype=bool)
+        if self.tainted or self.edges is None:
+            return np.ones(nq, dtype=bool)
+        edges, counts = self.edges, self.counts
+        # Bounding-interval test per attribute: disjoint anywhere kills
+        # the conjunction.
+        may = ((hi >= self.lo) & (lo <= self.hi)).all(axis=1)
+        if not may.any():
+            return may
+        # Histogram test: a query overlaps bins [i0, i1] per attribute
+        # (boundary bins reach +-inf, covering values clamped past the
+        # edges); all-zero overlap on any attribute proves emptiness.
+        csum = np.zeros((self.n_attrs, self.n_bins + 1), dtype=np.int64)
+        np.cumsum(counts, axis=1, out=csum[:, 1:])
+        for j in range(self.n_attrs):
+            i0 = np.searchsorted(edges[j], lo[:, j], side="right") - 1
+            i1 = np.searchsorted(edges[j], hi[:, j], side="right") - 1
+            i0 = np.clip(i0, 0, self.n_bins - 1)
+            i1 = np.clip(i1, 0, self.n_bins - 1)
+            may &= (csum[j, i1 + 1] - csum[j, i0]) > 0
+        return may
+
+    # ------------------------------------------------------------------ #
+    # persistence (manifest payloads; see core/persist.py)
+    # ------------------------------------------------------------------ #
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """The summary as flat arrays for a fleet manifest."""
+        with self._lock:
+            has_edges = self.edges is not None
+            return {
+                "meta": np.array([self.n_attrs, self.n_bins, self.n_live,
+                                  int(has_edges), int(self.tainted)],
+                                 dtype=np.int64),
+                "lo": self.lo.copy(),
+                "hi": self.hi.copy(),
+                "edges": (self.edges.copy() if has_edges else
+                          np.zeros((self.n_attrs, 0))),
+                "counts": self.counts.copy(),
+            }
+
+    @classmethod
+    def from_state_arrays(cls, arrays: Dict[str, np.ndarray]
+                          ) -> "ShardSummary":
+        """Inverse of :meth:`state_arrays`: bit-identical routing state."""
+        n_attrs, n_bins, n_live, has_edges, tainted = \
+            (int(v) for v in arrays["meta"])
+        summary = cls(n_attrs, n_bins)
+        summary.n_live = n_live
+        summary.lo = np.asarray(arrays["lo"], dtype=np.float64).copy()
+        summary.hi = np.asarray(arrays["hi"], dtype=np.float64).copy()
+        if has_edges:
+            summary.edges = np.asarray(arrays["edges"],
+                                       dtype=np.float64).copy()
+        summary.counts = np.asarray(arrays["counts"],
+                                    dtype=np.int64).copy()
+        summary.tainted = bool(tainted)
+        return summary
+
+
+class RoutingStats:
+    """Coordinator-side routing counters (thread-safe, monotone).
+
+    ``shards_touched[k]`` counts queries answered by exactly ``k``
+    shards; ``n_pruned_shard_queries`` counts (query, shard) pairs the
+    router proved empty and never dispatched (broadcast-mode queries
+    still count their prunes: the merge skipped those answers).
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        self._lock = threading.Lock()
+        self.n_shards = int(n_shards)
+        self.n_queries = 0
+        self.n_routed_queries = 0
+        self.n_broadcast_queries = 0
+        self.n_pruned_shard_queries = 0
+        self.shards_touched = [0] * (self.n_shards + 1)
+
+    def record(self, touched: Sequence[int], n_live: int,
+               routed: bool) -> None:
+        """Fold one planned batch: ``touched[i]`` shards for query i."""
+        touched = np.asarray(touched, dtype=np.int64)
+        counts = np.bincount(np.minimum(touched, self.n_shards),
+                             minlength=self.n_shards + 1)
+        nq = int(touched.shape[0])
+        pruned = int(nq * n_live - touched.sum())
+        with self._lock:
+            self.n_queries += nq
+            self.n_pruned_shard_queries += max(0, pruned)
+            for k, c in enumerate(counts):
+                self.shards_touched[k] += int(c)
+            if routed:
+                self.n_routed_queries += nq
+            else:
+                self.n_broadcast_queries += nq
+
+    def to_dict(self) -> Dict[str, object]:
+        with self._lock:
+            total = max(1, self.n_queries)
+            weighted = sum(k * c for k, c in
+                           enumerate(self.shards_touched))
+            return {
+                "n_queries": self.n_queries,
+                "n_routed_queries": self.n_routed_queries,
+                "n_broadcast_queries": self.n_broadcast_queries,
+                "n_pruned_shard_queries": self.n_pruned_shard_queries,
+                "shards_touched_hist": list(self.shards_touched),
+                "mean_shards_touched": weighted / total,
+            }
+
+
+def plan_contributors(summaries: Sequence[Optional[ShardSummary]],
+                      shard_ids: Sequence[int],
+                      lo: np.ndarray, hi: np.ndarray) -> List[List[int]]:
+    """Per-query contributing shard subsets for a rectangle batch.
+
+    ``summaries[s]`` may be ``None`` (no summary - e.g. a foreign shard
+    type), which conservatively keeps shard ``s`` in every subset.
+    Returns, per query, the ids from ``shard_ids`` the router could not
+    prove empty, preserving ``shard_ids`` order so downstream merges
+    stay deterministic.
+    """
+    masks = []
+    nq = lo.shape[0]
+    for s in shard_ids:
+        summary = summaries[s]
+        if summary is None:
+            masks.append(np.ones(nq, dtype=bool))
+        else:
+            masks.append(summary.may_contain_many(lo, hi))
+    return [[s for s, mask in zip(shard_ids, masks) if mask[qi]]
+            for qi in range(nq)]

@@ -8,12 +8,20 @@ every operation fans out per shard:
 * **ingestion** - :meth:`ShardedJanusAQP.insert_many` splits the row
   block by shard placement and pushes each slice through that shard's
   batched ingest under the shard's own lock;
-* **queries** - :meth:`ShardedJanusAQP.query_many` sends the whole batch
-  to every shard's batched query engine and combines the per-shard
-  answers with the statistically correct rules of
-  :mod:`repro.core.merge` (SUM/COUNT add estimates and variances, AVG
-  recombines from partial moments, MIN/MAX take the extremal estimate
-  with conservative exactness);
+* **queries** - :meth:`ShardedJanusAQP.query_many` first *routes*: the
+  coordinator keeps a conservative :class:`~repro.core.routing.ShardSummary`
+  per shard (live min/max plus a coarse histogram over the predicate
+  attributes) and intersects each query's rectangle with them, so a
+  shard proven to hold zero live rows in the region is never asked.
+  The surviving shards answer sub-batches through their batched query
+  engines and the per-query answers are combined with the
+  statistically correct rules of :mod:`repro.core.merge` (SUM/COUNT
+  add estimates and variances, AVG recombines from partial moments,
+  MIN/MAX take the extremal estimate with conservative exactness).
+  Routed and broadcast (``route=False``) answers are identical because
+  both merge over the same contributing subset - a pruned shard's
+  answer for a region it has no rows in is an exact-zero/NaN
+  non-contribution by construction;
 * **re-initialization** - :meth:`ShardedJanusAQP.reoptimize` staggers
   the per-shard rebuilds so at most one shard is re-partitioning at any
   time while the others stay query-ready - the paper's availability
@@ -52,6 +60,7 @@ import numpy as np
 from .janus import JanusAQP, JanusConfig, ReoptReport
 from .merge import merge_results
 from .queries import AggFunc, Query, QueryResult
+from .routing import RoutingStats, ShardSummary, plan_contributors
 from .table import Table
 
 
@@ -119,7 +128,21 @@ class ShardedJanusAQP:
         ``"hash"`` places tid t on shard ``t % n_shards`` (fine-grained
         round-robin, balanced under any workload); ``"range"`` stripes
         contiguous blocks of ``range_block`` tids (placement-local, the
-        natural unit for :meth:`rebalance_range`).
+        natural unit for :meth:`rebalance_range`); ``"attr"`` places
+        rows by the *value* of ``route_attr``, cutting its domain at
+        ``attr_bounds`` - the placement that makes the query router
+        effective, since a range predicate on the routing attribute
+        then lands on the 1-2 shards whose value stripe it overlaps.
+    route_attr:
+        The predicate attribute ``"attr"`` placement keys on (default:
+        the first predicate attribute).  Must be one of
+        ``predicate_attrs`` - placement by a column queries never
+        constrain would route nothing.
+    attr_bounds:
+        ``n_shards - 1`` ascending cut values for ``"attr"`` placement.
+        When omitted, the bounds are struck from the quantiles of the
+        first insert batch (the documented seed-then-initialize flow),
+        so a representative seed yields balanced shards.
     max_workers:
         Thread-pool width for the fan-out (default: ``n_shards``).
     """
@@ -129,10 +152,12 @@ class ShardedJanusAQP:
                  config: Optional[JanusConfig] = None,
                  stat_attrs: Optional[Sequence[str]] = None,
                  sharding: str = "hash", range_block: int = 8192,
+                 route_attr: Optional[str] = None,
+                 attr_bounds: Optional[Sequence[float]] = None,
                  max_workers: Optional[int] = None) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
-        if sharding not in ("hash", "range"):
+        if sharding not in ("hash", "range", "attr"):
             raise ValueError(f"unknown sharding mode {sharding!r}")
         self.schema = tuple(schema)
         self.agg_attr = agg_attr
@@ -153,6 +178,36 @@ class ShardedJanusAQP:
         #: Attributes every shard tracks statistics for (uniform across
         #: the fleet) - the same template surface JanusAQP exposes.
         self.stat_attrs = self.shards[0].stat_attrs
+        self.route_attr = route_attr or self.predicate_attrs[0]
+        if self.route_attr not in self.predicate_attrs:
+            raise ValueError(
+                f"route_attr {self.route_attr!r} is not a predicate "
+                f"attribute {self.predicate_attrs}")
+        self._route_col = self.schema.index(self.route_attr)
+        self.attr_bounds: Optional[np.ndarray] = None
+        if attr_bounds is not None:
+            bounds = np.asarray(attr_bounds, dtype=np.float64)
+            if bounds.shape != (self.n_shards - 1,):
+                raise ValueError(
+                    f"attr_bounds needs {self.n_shards - 1} cut values")
+            if bounds.size and (np.diff(bounds) < 0).any():
+                raise ValueError("attr_bounds must be ascending")
+            self.attr_bounds = bounds
+        #: Schema column indices of the predicate attributes, the
+        #: coordinate order of the per-shard routing summaries.
+        self._pred_cols = np.array(
+            [self.schema.index(a) for a in self.predicate_attrs],
+            dtype=np.intp)
+        #: Conservative per-shard bounding summaries (all placement
+        #: modes maintain them - routing prunes whenever the data is
+        #: separable, however it got that way).
+        self.summaries: List[ShardSummary] = [
+            ShardSummary(len(self.predicate_attrs))
+            for _ in range(self.n_shards)]
+        self._routing_stats = RoutingStats(self.n_shards)
+        #: Default :meth:`query_many` mode; ``route=...`` overrides per
+        #: call (the benchmark's broadcast baseline passes ``False``).
+        self.route_queries = True
         self._shard_of = np.full(64, -1, dtype=np.int64)
         self._local_tid = np.zeros(64, dtype=np.int64)
         self._next_tid = 0
@@ -204,11 +259,30 @@ class ShardedJanusAQP:
     # ------------------------------------------------------------------ #
     # placement and tid maps
     # ------------------------------------------------------------------ #
-    def _place(self, tids: np.ndarray) -> np.ndarray:
-        """Initial shard placement for new global tids (vectorized)."""
+    def _place(self, tids: np.ndarray,
+               rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """Initial shard placement for a new batch (vectorized).
+
+        ``hash``/``range`` place by tid; ``attr`` places by the routing
+        attribute's value against :attr:`attr_bounds` (struck lazily
+        from this first batch's quantiles when not configured).  Values
+        past the outer bounds land on the edge shards; NaNs sort past
+        every bound onto the last shard - placement never affects
+        correctness, only routing selectivity.
+        """
         if self.sharding == "hash":
             return tids % self.n_shards
-        return (tids // self.range_block) % self.n_shards
+        if self.sharding == "range":
+            return (tids // self.range_block) % self.n_shards
+        vals = rows[:, self._route_col]
+        if self.attr_bounds is None:
+            finite = vals[np.isfinite(vals)]
+            if finite.size == 0:
+                return np.zeros(tids.shape[0], dtype=np.int64)
+            qs = np.arange(1, self.n_shards) / self.n_shards
+            self.attr_bounds = np.quantile(finite, qs)
+        return np.searchsorted(self.attr_bounds, vals,
+                               side="right").astype(np.int64)
 
     def _ensure_tid_capacity(self, need: int) -> None:
         cap = self._shard_of.shape[0]
@@ -318,7 +392,15 @@ class ShardedJanusAQP:
                 reports.append(None)
                 continue
             reports.append(self.shards[s].reoptimize())
+            # The rebuild just walked the live rows; piggyback an exact
+            # summary refresh so delete-inflated bounds tighten back.
+            self._refresh_summary(s)
         return reports
+
+    def _refresh_summary(self, s: int) -> None:
+        """Rebuild shard ``s``'s routing summary from its live rows."""
+        self.summaries[s].refresh(
+            self.tables[s].live_rows()[:, self._pred_cols])
 
     def reoptimize_async(self) -> threading.Thread:
         """Run the staggered re-initialization in a background thread."""
@@ -355,14 +437,24 @@ class ShardedJanusAQP:
                              dtype=np.int64)
             self._next_tid += n
             self._ensure_tid_capacity(self._next_tid)
-            placement = self._place(tids)
+            placement = self._place(tids, rows)
 
         def ingest(s: int) -> Tuple[np.ndarray, List[int]]:
             sel = np.flatnonzero(placement == s)
+            reparts = self.shards[s].n_repartitions
             local = self.shards[s].insert_many(rows[sel])
             if self.shards[s].dpt is None:
                 self.shards[s].initialize()
                 self._stagger_trigger(s)
+            # Summary upkeep after the rows are queryable (an overlap
+            # window can only overcount - conservative for routing).
+            # When the batch tripped the shard's auto-repartition, the
+            # rebuild walked the live data anyway: refresh to tighten
+            # delete-inflated bounds instead of widening further.
+            if self.shards[s].n_repartitions != reparts:
+                self._refresh_summary(s)
+            else:
+                self.summaries[s].add(rows[sel][:, self._pred_cols])
             return sel, local
 
         touched = np.unique(placement)
@@ -404,7 +496,12 @@ class ShardedJanusAQP:
 
         def drop(s: int) -> None:
             sel = owners == s
-            self.shards[s].delete_many(locals_[sel])
+            local = locals_[sel]
+            # Uncount *before* the rows die so any concurrent routing
+            # read sees at worst an overcount (prunes less, never more).
+            self.summaries[s].remove(
+                self.tables[s].rows_for(local)[:, self._pred_cols])
+            self.shards[s].delete_many(local)
 
         self._fan_out(drop, np.unique(owners).tolist())
 
@@ -415,28 +512,115 @@ class ShardedJanusAQP:
         """Answer one query from the fleet (no base-table access)."""
         return self.query_many((query,))[0]
 
-    def query_many(self, queries: Sequence[Query]) -> List[QueryResult]:
-        """Answer a query batch: one shard fan-out, one merge per query.
+    def query_many(self, queries: Sequence[Query],
+                   route: Optional[bool] = None) -> List[QueryResult]:
+        """Answer a query batch: plan, dispatch, merge per query.
 
-        Every initialized shard answers the whole batch through its
-        batched engine (one lock round-trip and one shared frontier
-        traversal per shard); per-shard answers are then combined with
-        :func:`repro.core.merge.merge_results`.  Shards that never held
-        a row are skipped and treated as provably empty.
+        The router intersects each query's predicate rectangle with the
+        per-shard :class:`~repro.core.routing.ShardSummary` bounds and
+        histograms, yielding the *contributing subset*: the shards not
+        proven to hold zero live rows in the region.  With ``route``
+        (default :attr:`route_queries`) each shard receives one
+        sub-batch holding only the queries that touch it; with
+        ``route=False`` every live shard still answers the whole batch
+        (the honest broadcast baseline).  Either way the merge runs
+        over the same contributing subset, so routed and broadcast
+        answers are identical - a shard with no live rows in the
+        region contributes an exact zero to SUM/COUNT and nothing to
+        the AVG/VARIANCE normalizers or the MIN/MAX candidates (see
+        :mod:`repro.core.routing`).
+
+        Fast path: when the whole batch routes to one and the same
+        shard, that shard's raw batched answers come back directly -
+        no thread-pool hop, no merge loop (a merge over one contributor
+        is the identity for every aggregate).
         """
         queries = list(queries)
         if not queries:
             return []
+        route = self.route_queries if route is None else bool(route)
         live = [s for s in range(self.n_shards)
                 if self.shards[s].dpt is not None]
         if not live:
             raise RuntimeError("synopsis not initialized")
-        per_shard = self._fan_out(
-            lambda s: self.shards[s].query_many(queries), live)
-        empty_ok = [len(self.tables[s]) == 0 for s in live]
-        return [merge_results(q, [shard_res[qi]
-                                  for shard_res in per_shard], empty_ok)
-                for qi, q in enumerate(queries)]
+        subsets = self._plan(queries, live)
+        self._routing_stats.record([len(c) for c in subsets], len(live),
+                                   route)
+        if route:
+            first = subsets[0]
+            if len(first) == 1 and all(c == first for c in subsets):
+                return list(self.shards[first[0]].query_many(queries))
+            get = self._dispatch_routed(queries, subsets, live)
+        else:
+            per_shard = self._fan_out(
+                lambda s: self.shards[s].query_many(queries), live)
+            of_shard = dict(zip(live, per_shard))
+            get = lambda s, qi: of_shard[s][qi]
+        out: List[QueryResult] = []
+        for qi, q in enumerate(queries):
+            contrib = subsets[qi]
+            if len(contrib) == 1:
+                out.append(get(contrib[0], qi))
+                continue
+            out.append(merge_results(
+                q, [get(s, qi) for s in contrib],
+                [len(self.tables[s]) == 0 for s in contrib]))
+        return out
+
+    def _plan(self, queries: Sequence[Query],
+              live: Sequence[int]) -> List[List[int]]:
+        """Per-query contributing shard subsets (conservative).
+
+        Off-template queries (predicate attributes that do not match
+        the fleet's) are never pruned: every live shard stays in the
+        subset, so the shard engines raise the same errors broadcast
+        would - the router must not swallow a ``ValueError`` into a
+        silently empty answer.
+        """
+        nq = len(queries)
+        d = len(self.predicate_attrs)
+        lo = np.empty((nq, d))
+        hi = np.empty((nq, d))
+        forced: List[int] = []
+        for qi, q in enumerate(queries):
+            if q.predicate_attrs == self.predicate_attrs:
+                lo[qi] = q.rect.lo
+                hi[qi] = q.rect.hi
+            else:
+                forced.append(qi)
+                lo[qi] = -math.inf
+                hi[qi] = math.inf
+        subsets = plan_contributors(self.summaries, live, lo, hi)
+        for qi in forced:
+            subsets[qi] = list(live)
+        return subsets
+
+    def _dispatch_routed(self, queries: Sequence[Query],
+                         subsets: Sequence[Sequence[int]],
+                         live: Sequence[int]):
+        """Issue one sub-batched ``query_many`` per contributing shard.
+
+        Returns a ``get(shard, query_index)`` lookup over the answers.
+        """
+        by_shard = {s: [] for s in live}
+        for qi, contrib in enumerate(subsets):
+            for s in contrib:
+                by_shard[s].append(qi)
+        work = [(s, qis) for s, qis in by_shard.items() if qis]
+        batches = self._fan_out(
+            lambda w: self.shards[work[w][0]].query_many(
+                [queries[qi] for qi in work[w][1]]),
+            range(len(work)))
+        answers = {}
+        for (s, qis), batch in zip(work, batches):
+            for pos, qi in enumerate(qis):
+                answers[(s, qi)] = batch[pos]
+        return lambda s, qi: answers[(s, qi)]
+
+    def routing_stats(self) -> dict:
+        """Cumulative router counters (see
+        :class:`~repro.core.routing.RoutingStats`)."""
+        return self._routing_stats.to_dict()
 
     # ------------------------------------------------------------------ #
     # rebalancing
@@ -491,6 +675,11 @@ class ShardedJanusAQP:
                 self._stagger_trigger(dst)
             self._shard_of[moving] = dst
             self._local_tid[moving] = new_local
+            # Exact summary refresh on both ends of the move: the rows
+            # are already in hand, and a refresh (rather than paired
+            # remove/add) also re-tightens the source shards' bounds.
+            for s in {int(v) for v in np.unique(owners)} | {dst}:
+                self._refresh_summary(s)
         if reoptimize_dst and self.shards[dst].dpt is not None:
             self.shards[dst].reoptimize()
         return int(moving.size)

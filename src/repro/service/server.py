@@ -412,6 +412,8 @@ class AQPServer:
         if n_shards is not None:
             stats["engine"]["n_shards"] = n_shards
             stats["engine"]["shard_sizes"] = engine.shard_sizes()
+        if hasattr(engine, "routing_stats"):
+            stats["engine"]["routing"] = engine.routing_stats()
         return stats
 
     async def _handle_metrics(self, _payload) -> dict:
@@ -439,6 +441,27 @@ class AQPServer:
             "# TYPE janus_service_bad_requests_total counter",
             f"janus_service_bad_requests_total {self.n_bad_requests}",
         ]
+        routing = getattr(self.engine, "routing_stats", None)
+        if routing is not None:
+            r = routing()
+            lines += [
+                "# TYPE janus_service_routed_queries_total counter",
+                f"janus_service_routed_queries_total "
+                f"{r['n_routed_queries']}",
+                "# TYPE janus_service_broadcast_queries_total counter",
+                f"janus_service_broadcast_queries_total "
+                f"{r['n_broadcast_queries']}",
+                "# TYPE janus_service_pruned_shard_queries_total counter",
+                f"janus_service_pruned_shard_queries_total "
+                f"{r['n_pruned_shard_queries']}",
+                "# TYPE janus_service_mean_shards_touched gauge",
+                f"janus_service_mean_shards_touched "
+                f"{r['mean_shards_touched']:.4f}",
+                "# TYPE janus_service_shards_touched_total counter",
+            ]
+            for k, count in enumerate(r["shards_touched_hist"]):
+                lines.append(f'janus_service_shards_touched_total'
+                             f'{{shards="{k}"}} {count}')
         for route, count in sorted(self.request_counts.items()):
             lines.append(f'janus_service_requests_total'
                          f'{{route="{route}"}} {count}')

@@ -30,6 +30,7 @@ def load_example(name: str):
 
 @pytest.mark.parametrize("name,n", [
     ("quickstart", 6_000),
+    ("routed_sharding", 8_000),
     ("sensor_monitoring", 8_000),
     ("serving", 6_000),
     ("stock_orders", 6_000),

@@ -409,6 +409,32 @@ class TestObservability:
         assert "janus_service_batches_total 1" in text
         assert 'janus_service_requests_total{route="/query"} 1' in text
 
+    def test_sharded_routing_stats_and_metrics(self, ds):
+        """A sharded engine reports router counters on both surfaces."""
+        engine = build_sharded(ds)
+        with serve_background(engine, port=0) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                client.query_many(workload(ds, n=7))
+                stats = client.stats()
+                text = client.metrics()
+        routing = stats["engine"]["routing"]
+        assert routing["n_queries"] == 7
+        assert routing["n_routed_queries"] == 7
+        assert sum(routing["shards_touched_hist"]) == 7
+        assert 0.0 <= routing["mean_shards_touched"] <= 3.0
+        assert "janus_service_routed_queries_total 7" in text
+        assert "janus_service_mean_shards_touched " in text
+        assert 'janus_service_shards_touched_total{shards="' in text
+
+    def test_single_engine_has_no_routing_section(self, ds):
+        engine = build_single(ds)
+        with serve_background(engine, port=0) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                stats = client.stats()
+                text = client.metrics()
+        assert "routing" not in stats["engine"]
+        assert "janus_service_routed_queries_total" not in text
+
 
 class TestLifecycle:
     def test_idle_connections_are_closed_after_timeout(self, ds):
