@@ -31,7 +31,7 @@ class Topic:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._records: List[str] = []
+        self._records: List[str] = []  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def produce(self, record: str) -> int:
@@ -75,7 +75,7 @@ class Broker:
     EXECUTE = "execute"
 
     def __init__(self) -> None:
-        self._topics: Dict[str, Topic] = {}
+        self._topics: Dict[str, Topic] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def topic(self, name: str) -> Topic:

@@ -154,4 +154,13 @@ def uniform_estimate(agg: str, n_total: float, m: int,
     if agg == "MAX":
         est = float(matched_values.max()) if n_matched else math.nan
         return PartialContribution(est, 0.0, n_matched)
+    if agg in ("VARIANCE", "STDDEV"):
+        # Plug-in moments, matching the tree's E[a^2] - E[a]^2
+        # composition (Section 6.6); like MIN/MAX, no variance-of-the-
+        # variance estimate is attempted (ci unavailable).
+        if n_matched == 0:
+            return PartialContribution(math.nan, 0.0, 0)
+        var = max(0.0, float(matched_values.var()))
+        est = var if agg == "VARIANCE" else math.sqrt(var)
+        return PartialContribution(est, 0.0, n_matched)
     raise ValueError(f"unknown aggregate {agg}")

@@ -327,7 +327,20 @@ class JanusAQP:
         #: serving tier's result cache (:mod:`repro.service.cache`) keys
         #: entries by this value, so a bump invalidates every cached
         #: answer without any synopsis traffic.
-        self.data_epoch = 0
+        self.data_epoch = 0  # guarded-by: _lock
+
+    def bump_epoch(self) -> int:
+        """Advance ``data_epoch`` under the engine's own lock.
+
+        The one sanctioned way for *external* mutators (e.g. the
+        partial re-partitioner in :mod:`repro.core.repartition`) to
+        invalidate cached answers: a bare ``engine.data_epoch += 1``
+        from outside would race with the locked read-modify-write
+        cycles of the ingest paths.  Returns the new epoch.
+        """
+        with self._lock:
+            self.data_epoch += 1
+            return self.data_epoch
 
     # ------------------------------------------------------------------ #
     # construction / re-initialization (Figure 4)
@@ -431,7 +444,7 @@ class JanusAQP:
                 coords, values, tids, self.config.k, n_population=n_pop,
                 root_rect=Rectangle(lo, hi), index=snapshot_index).tree
 
-    def _reinitialize(self, catchup_goal: Optional[int]) -> ReoptReport:
+    def _reinitialize(self, catchup_goal: Optional[int]) -> ReoptReport:  # requires-lock: _lock
         report = ReoptReport()
         # Phase 1: partition optimization over the current pooled sample.
         t0 = time.perf_counter()

@@ -285,7 +285,7 @@ def save_sharded(sharded: ShardedJanusAQP,
     with ExitStack() as stack:
         stack.enter_context(sharded._map_lock)
         for shard in sharded.shards:
-            stack.enter_context(shard._lock)
+            stack.enter_context(shard._lock)  # lock-order: canonical (shard index order, same as the data path)
 
         # Consistency gate: every live local tid must be reachable from
         # the global maps, or the snapshot would lose/duplicate rows.

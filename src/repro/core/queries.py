@@ -196,7 +196,7 @@ class QueryResult:
     exact: bool = False
     n_covered: int = 0
     n_partial: int = 0
-    details: dict = field(default_factory=dict)
+    details: dict = field(default_factory=dict)  # codec-exempt: diagnostics-only, stays server-side
 
     @property
     def variance(self) -> float:

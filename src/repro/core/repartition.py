@@ -100,7 +100,10 @@ def partial_repartition(janus, leaf: DPTNode, psi: int = 2
     janus._rebuild_leaf_cache()
     if janus.trigger is not None:
         janus.trigger.rebase(dpt)
-    janus.data_epoch += 1
+    # Epoch bump goes through the engine so it happens under its lock;
+    # a bare `janus.data_epoch += 1` here would race the locked
+    # read-modify-write cycles of the ingest paths (janus-lint JL102).
+    janus.bump_epoch()
     return PartialRepartitionReport(u.node_id, l_u, n_seed,
                                     time.perf_counter() - t0)
 

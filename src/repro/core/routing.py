@@ -77,21 +77,21 @@ class ShardSummary:
         self.n_attrs = int(n_attrs)
         self.n_bins = int(n_bins)
         self._lock = threading.Lock()
-        self.n_live = 0
-        self.lo = np.full(n_attrs, np.inf)
-        self.hi = np.full(n_attrs, -np.inf)
+        self.n_live = 0  # guarded-by: _lock
+        self.lo = np.full(n_attrs, np.inf)  # guarded-by: _lock
+        self.hi = np.full(n_attrs, -np.inf)  # guarded-by: _lock
         #: ``(n_attrs, n_bins + 1)`` fixed bin edges, or ``None`` until
         #: the first rows arrive.  Edges only change on :meth:`refresh`.
-        self.edges: Optional[np.ndarray] = None
-        self.counts = np.zeros((n_attrs, n_bins), dtype=np.int64)
+        self.edges: Optional[np.ndarray] = None  # guarded-by: _lock
+        self.counts = np.zeros((n_attrs, n_bins), dtype=np.int64)  # guarded-by: _lock
         #: Set when non-finite predicate values were seen; the summary
         #: then refuses to prune until a refresh re-establishes order.
-        self.tainted = False
+        self.tainted = False  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     # maintenance
     # ------------------------------------------------------------------ #
-    def _bin_of(self, coords: np.ndarray) -> np.ndarray:
+    def _bin_of(self, coords: np.ndarray) -> np.ndarray:  # requires-lock: _lock
         """Bin index per (row, attr), clamped into the edge bins."""
         idx = np.empty(coords.shape, dtype=np.intp)
         for j in range(self.n_attrs):
@@ -133,7 +133,7 @@ class ShardSummary:
         so a concurrent :meth:`refresh` can only overcount)."""
         self._apply(coords, -1)
 
-    def _strike_edges(self, lo: np.ndarray, hi: np.ndarray) -> None:
+    def _strike_edges(self, lo: np.ndarray, hi: np.ndarray) -> None:  # requires-lock: _lock
         """Fix bin edges over ``[lo, hi]`` (degenerate spans widen)."""
         span_lo = np.where(np.isfinite(lo), lo, 0.0)
         span_hi = np.where(np.isfinite(hi), hi, 0.0)
@@ -190,14 +190,19 @@ class ShardSummary:
         lo = np.asarray(lo, dtype=np.float64)
         hi = np.asarray(hi, dtype=np.float64)
         nq = lo.shape[0]
-        if self.n_live <= 0:
+        # The planner reads without the lock by design (see the class
+        # docstring): every field rebinds atomically and both signals
+        # are one-sided, so a torn read only prunes less.
+        if self.n_live <= 0:  # lock-free-read: one-sided planner probe
             return np.zeros(nq, dtype=bool)
-        if self.tainted or self.edges is None:
+        if self.tainted or self.edges is None:  # lock-free-read: one-sided planner probe
             return np.ones(nq, dtype=bool)
-        edges, counts = self.edges, self.counts
+        edges, counts = self.edges, self.counts  # lock-free-read: atomic rebind snapshot
         # Bounding-interval test per attribute: disjoint anywhere kills
         # the conjunction.
-        may = ((hi >= self.lo) & (lo <= self.hi)).all(axis=1)
+        lo_ok = hi >= self.lo  # lock-free-read: one-sided planner probe
+        hi_ok = lo <= self.hi  # lock-free-read: one-sided planner probe
+        may = (lo_ok & hi_ok).all(axis=1)
         if not may.any():
             return may
         # Histogram test: a query overlaps bins [i0, i1] per attribute
@@ -262,11 +267,11 @@ class RoutingStats:
     def __init__(self, n_shards: int) -> None:
         self._lock = threading.Lock()
         self.n_shards = int(n_shards)
-        self.n_queries = 0
-        self.n_routed_queries = 0
-        self.n_broadcast_queries = 0
-        self.n_pruned_shard_queries = 0
-        self.shards_touched = [0] * (self.n_shards + 1)
+        self.n_queries = 0  # guarded-by: _lock
+        self.n_routed_queries = 0  # guarded-by: _lock
+        self.n_broadcast_queries = 0  # guarded-by: _lock
+        self.n_pruned_shard_queries = 0  # guarded-by: _lock
+        self.shards_touched = [0] * (self.n_shards + 1)  # guarded-by: _lock
 
     def record(self, touched: Sequence[int], n_live: int,
                routed: bool) -> None:

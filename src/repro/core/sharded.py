@@ -82,9 +82,9 @@ class _ShardedTableView:
         return self._owner.schema
 
     def __contains__(self, tid: int) -> bool:
-        t = int(tid)
-        shard_of = self._owner._shard_of
-        return 0 <= t < shard_of.shape[0] and shard_of[t] >= 0
+        # Via the coordinator's locked probe: the tid maps are
+        # guarded-by _map_lock and may be mid-resize on the ingest path.
+        return self._owner._tid_live(tid)
 
     def __len__(self) -> int:
         return len(self._owner)
@@ -184,7 +184,7 @@ class ShardedJanusAQP:
                 f"route_attr {self.route_attr!r} is not a predicate "
                 f"attribute {self.predicate_attrs}")
         self._route_col = self.schema.index(self.route_attr)
-        self.attr_bounds: Optional[np.ndarray] = None
+        self.attr_bounds: Optional[np.ndarray] = None  # guarded-by: _map_lock
         if attr_bounds is not None:
             bounds = np.asarray(attr_bounds, dtype=np.float64)
             if bounds.shape != (self.n_shards - 1,):
@@ -208,11 +208,11 @@ class ShardedJanusAQP:
         #: Default :meth:`query_many` mode; ``route=...`` overrides per
         #: call (the benchmark's broadcast baseline passes ``False``).
         self.route_queries = True
-        self._shard_of = np.full(64, -1, dtype=np.int64)
-        self._local_tid = np.zeros(64, dtype=np.int64)
-        self._next_tid = 0
+        self._shard_of = np.full(64, -1, dtype=np.int64)  # guarded-by: _map_lock
+        self._local_tid = np.zeros(64, dtype=np.int64)  # guarded-by: _map_lock
+        self._next_tid = 0  # guarded-by: _map_lock
         self._map_lock = threading.Lock()
-        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _pool_lock
         self._pool_lock = threading.Lock()
         self._max_workers = max_workers or self.n_shards
         self.table = _ShardedTableView(self)
@@ -224,14 +224,17 @@ class ShardedJanusAQP:
         # Double-checked under a lock: the serving tier drives the
         # coordinator from several executor threads at once, and two
         # concurrent first fan-outs must not each construct (and one
-        # leak) a thread pool.
-        if self._pool is None:
+        # leak) a thread pool.  The single unlocked probe is safe: a
+        # stale None only sends us into the locked slow path.
+        pool = self._pool  # lock-free-read: double-checked fast path
+        if pool is None:
             with self._pool_lock:
                 if self._pool is None:
                     self._pool = ThreadPoolExecutor(
                         max_workers=self._max_workers,
                         thread_name_prefix="janus-shard")
-        return self._pool
+                pool = self._pool
+        return pool
 
     def _fan_out(self, fn: Callable[[int], object],
                  shard_ids: Sequence[int]) -> List[object]:
@@ -259,7 +262,7 @@ class ShardedJanusAQP:
     # ------------------------------------------------------------------ #
     # placement and tid maps
     # ------------------------------------------------------------------ #
-    def _place(self, tids: np.ndarray,
+    def _place(self, tids: np.ndarray,  # requires-lock: _map_lock
                rows: Optional[np.ndarray] = None) -> np.ndarray:
         """Initial shard placement for a new batch (vectorized).
 
@@ -284,7 +287,7 @@ class ShardedJanusAQP:
         return np.searchsorted(self.attr_bounds, vals,
                                side="right").astype(np.int64)
 
-    def _ensure_tid_capacity(self, need: int) -> None:
+    def _ensure_tid_capacity(self, need: int) -> None:  # requires-lock: _map_lock
         cap = self._shard_of.shape[0]
         if need <= cap:
             return
@@ -296,11 +299,25 @@ class ShardedJanusAQP:
         self._shard_of, self._local_tid = shard_of, local
 
     def shard_of(self, tid: int) -> int:
-        """The shard currently holding a live global tid."""
+        """The shard currently holding a live global tid.
+
+        Takes the map lock: a concurrent insert batch may be resizing
+        ``_shard_of`` (capacity doubling swaps the array out), so an
+        unlocked indexed read could hit the stale pre-resize array or
+        tear against the rewrite of ownership after a rebalance.
+        """
         t = int(tid)
-        if 0 <= t < self._shard_of.shape[0] and self._shard_of[t] >= 0:
-            return int(self._shard_of[t])
+        with self._map_lock:
+            if 0 <= t < self._shard_of.shape[0] and self._shard_of[t] >= 0:
+                return int(self._shard_of[t])
         raise KeyError(f"tid {tid} is not live")
+
+    def _tid_live(self, tid: int) -> bool:
+        """Locked liveness probe backing the table facade."""
+        t = int(tid)
+        with self._map_lock:
+            return bool(0 <= t < self._shard_of.shape[0]
+                        and self._shard_of[t] >= 0)
 
     def shard_sizes(self) -> List[int]:
         """Live row count per shard."""

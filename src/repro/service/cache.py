@@ -90,9 +90,9 @@ class ResultCache:
             raise ValueError("per_template must be >= 1")
         self.per_template = int(per_template)
         self.enabled = bool(enabled)
-        self.stats = CacheStats()
+        self.stats = CacheStats()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._lru: Dict[TemplateKey,
+        self._lru: Dict[TemplateKey,  # guarded-by: _lock
                         "OrderedDict[Tuple[int, QueryKey], QueryResult]"
                         ] = {}
 

@@ -122,6 +122,19 @@ class TestUniformEstimate:
         assert uniform_estimate("MIN", 10, 5, vals).estimate == 1.0
         assert uniform_estimate("MAX", 10, 5, vals).estimate == 9.0
 
+    def test_variance_stddev(self):
+        vals = np.array([2.0, 4.0, 6.0])
+        v = uniform_estimate("VARIANCE", 10, 5, vals)
+        assert v.estimate == pytest.approx(float(vals.var()))
+        s = uniform_estimate("STDDEV", 10, 5, vals)
+        assert s.estimate == pytest.approx(math.sqrt(float(vals.var())))
+        assert v.n_matched == s.n_matched == 3
+
+    def test_variance_empty_nan(self):
+        c = uniform_estimate("STDDEV", 10, 5, np.array([]))
+        assert math.isnan(c.estimate)
+        assert c.n_matched == 0
+
     def test_unknown_raises(self):
         with pytest.raises(ValueError):
             uniform_estimate("MEDIAN", 10, 5, np.ones(2))

@@ -18,11 +18,21 @@ epoch machinery.  Pinned invariants:
 """
 
 import math
+import os
+import sys
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 import pytest
+
+# tools/ (janus-lint's runtime lock-order recorder) lives at the repo
+# root, which PYTHONPATH=src does not cover.
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO not in sys.path:
+    sys.path.insert(0, REPO)
+
+from tools.analysis.runtime import LockOrderRecorder
 
 from repro.core.janus import JanusConfig
 from repro.core.queries import AggFunc, Query, Rectangle
@@ -59,7 +69,11 @@ def count_all(ds) -> Query:
 
 
 def test_threaded_writers_never_tear_reads_or_serve_stale_hits(ds):
-    engine = build_engine(ds)
+    # Every lock the fleet allocates is traced: any held->acquired
+    # inversion during the threaded workload below becomes a cycle.
+    recorder = LockOrderRecorder()
+    with recorder.wrapping():
+        engine = build_engine(ds)
     stream = ds.data[N_SEED:]
     per_writer = len(stream) // N_WRITERS
     query = count_all(ds)
@@ -135,13 +149,18 @@ def test_threaded_writers_never_tear_reads_or_serve_stale_hits(ds):
 
         stats = handle.server.cache.stats
         assert stats.hits >= len(checks)    # the warm pass hit
+
+    # the observed runtime lock-order graph must be deadlock-free
+    assert recorder.cycles() == [], recorder.edges
     engine.close()
 
 
 def test_interleaved_deletes_keep_epochs_and_answers_consistent(ds):
     """Writers that also delete: epochs strictly increase and the
     quiesced state matches in-process answers bit-identically."""
-    engine = build_engine(ds)
+    recorder = LockOrderRecorder()
+    with recorder.wrapping():
+        engine = build_engine(ds)
     stream = ds.data[N_SEED:N_SEED + 2_000]
     query = count_all(ds)
 
@@ -168,4 +187,6 @@ def test_interleaved_deletes_keep_epochs_and_answers_consistent(ds):
         with ServiceClient(handle.host, handle.port) as client:
             got = client.query(query)
         assert got.estimate == expected.estimate
+
+    assert recorder.cycles() == [], recorder.edges
     engine.close()

@@ -1,0 +1,1 @@
+"""Developer tooling for the repository (not shipped with the package)."""

@@ -1,0 +1,62 @@
+"""CLI entry point: ``python -m tools.analysis [paths ...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import PASSES, run_passes
+from .core import (DEFAULT_BASELINE, Project, apply_baseline,
+                   load_baseline, write_baseline)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analysis",
+        description="janus-lint: project-specific invariant checks")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to check "
+                             "(default: src/repro)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline file (default: "
+                             "tools/analysis/baseline.txt)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, ignoring the "
+                             "baseline")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept all current findings into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--pass", dest="passes", action="append",
+                        choices=sorted(PASSES),
+                        help="run only the given pass (repeatable)")
+    args = parser.parse_args(argv)
+
+    project = Project.from_paths(args.paths or ["src/repro"])
+    findings = run_passes(project, only=args.passes)
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(f"wrote {len(set(f.baseline_key() for f in findings))} "
+              f"baseline entr(y/ies) to {args.baseline}")
+        return 0
+
+    baseline = [] if args.no_baseline else load_baseline(args.baseline)
+    gate = apply_baseline(findings, baseline)
+
+    for f in gate.new:
+        print(f.render())
+    if gate.baselined:
+        print(f"# {len(gate.baselined)} baselined finding(s) "
+              f"suppressed (see {args.baseline})", file=sys.stderr)
+    for key in gate.stale_baseline:
+        print(f"# stale baseline entry (no longer fires): "
+              f"{' '.join(key)}", file=sys.stderr)
+    total = len(gate.findings)
+    print(f"janus-lint: {total} finding(s), "
+          f"{len(gate.baselined)} baselined, {len(gate.new)} new",
+          file=sys.stderr)
+    return 1 if gate.new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

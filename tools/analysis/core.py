@@ -1,0 +1,218 @@
+"""Shared infrastructure for the janus-lint passes.
+
+The framework is deliberately small: a :class:`Project` is a bag of
+parsed :class:`Module` objects (AST + per-line trailing comments), a
+pass is a callable ``(Project) -> List[Finding]`` registered in
+``tools.analysis.PASSES``, and a :class:`Finding` renders as
+``file:line CODE message``.
+
+Baselines identify a finding by ``(path, code, message)`` - *not* by
+line number - so unrelated edits that shift lines do not invalidate the
+committed baseline, while any new violation (new file, new code, or new
+message) still fails the gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Repository root (parent of ``tools/``); paths in findings are
+#: relative to this so output is stable regardless of the cwd.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baseline.txt")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint violation at a concrete source location."""
+
+    path: str       # repo-relative, forward slashes
+    line: int
+    code: str       # JLxxx
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line} {self.code} {self.message}"
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        return (self.path, self.code, self.message)
+
+
+class Module:
+    """A parsed source file: AST, raw lines and trailing comments."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path.replace(os.sep, "/")
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        self.comments: Dict[int, str] = self._extract_comments(source)
+
+    @staticmethod
+    def _extract_comments(source: str) -> Dict[int, str]:
+        comments: Dict[int, str] = {}
+        try:
+            toks = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in toks:
+                if tok.type == tokenize.COMMENT:
+                    comments[tok.start[0]] = tok.string
+        except tokenize.TokenError:
+            pass
+        return comments
+
+    def comment(self, line: int) -> str:
+        return self.comments.get(line, "")
+
+    def annotation(self, line: int, tag: str) -> Optional[str]:
+        """Value of a ``# <tag>: value`` comment on ``line`` (or None)."""
+        text = self.comment(line)
+        marker = f"# {tag}:"
+        if marker not in text:
+            return None
+        return text.split(marker, 1)[1].strip()
+
+    def finding(self, node_or_line, code: str, message: str) -> Finding:
+        line = getattr(node_or_line, "lineno", node_or_line)
+        return Finding(self.path, int(line), code, message)
+
+
+class Project:
+    """A set of modules the passes analyze together."""
+
+    def __init__(self, modules: Sequence[Module]):
+        self.modules: List[Module] = sorted(modules, key=lambda m: m.path)
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[str],
+                   root: str = REPO_ROOT) -> "Project":
+        """Load ``*.py`` under each path (file or directory tree)."""
+        files: List[str] = []
+        for p in paths:
+            ap = p if os.path.isabs(p) else os.path.join(root, p)
+            if os.path.isfile(ap):
+                files.append(ap)
+            else:
+                for dirpath, _dirnames, filenames in os.walk(ap):
+                    for fn in sorted(filenames):
+                        if fn.endswith(".py"):
+                            files.append(os.path.join(dirpath, fn))
+        modules = []
+        for f in sorted(set(files)):
+            rel = os.path.relpath(f, root)
+            with open(f, "r", encoding="utf-8") as fh:
+                modules.append(Module(rel, fh.read()))
+        return cls(modules)
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str]) -> "Project":
+        """Build a project from in-memory sources (used by the tests)."""
+        return cls([Module(path, text) for path, text in sources.items()])
+
+    def module(self, suffix: str) -> Optional[Module]:
+        suffix = suffix.replace(os.sep, "/")
+        for m in self.modules:
+            if m.path.endswith(suffix):
+                return m
+        return None
+
+
+# --------------------------------------------------------------------------
+# Small AST helpers shared by the passes.
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Bare name of the called function: ``a.b.c()`` -> ``c``."""
+    fn = node.func
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    if isinstance(fn, ast.Name):
+        return fn.id
+    return None
+
+
+def attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ("a", "b", "c"); None for non-name bases."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def walk_no_nested_defs(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+# --------------------------------------------------------------------------
+# Baseline handling.
+
+def load_baseline(path: str) -> List[Tuple[str, str, str]]:
+    entries: List[Tuple[str, str, str]] = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t", 2)
+            if len(parts) == 3:
+                entries.append((parts[0], parts[1], parts[2]))
+    return entries
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# janus-lint baseline: pre-existing findings that do "
+                 "not fail the gate.\n")
+        fh.write("# One finding per line: path<TAB>code<TAB>message "
+                 "(line numbers omitted\n")
+        fh.write("# on purpose so unrelated edits do not invalidate "
+                 "entries).\n")
+        fh.write("# Regenerate with: python -m tools.analysis "
+                 "--write-baseline\n")
+        for f in sorted(set(f.baseline_key() for f in findings)):
+            fh.write("\t".join(f) + "\n")
+
+
+@dataclass
+class GateResult:
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    new: List[Finding] = field(default_factory=list)
+    stale_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Sequence[Tuple[str, str, str]]) -> GateResult:
+    """Split findings into baselined vs. new; track stale entries."""
+    base = set(baseline)
+    result = GateResult(findings=sorted(findings))
+    seen_keys = set()
+    for f in result.findings:
+        key = f.baseline_key()
+        seen_keys.add(key)
+        if key in base:
+            result.baselined.append(f)
+        else:
+            result.new.append(f)
+    result.stale_baseline = sorted(base - seen_keys)
+    return result

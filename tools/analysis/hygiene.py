@@ -1,0 +1,84 @@
+"""Determinism / numpy hygiene pass (JL501-JL503).
+
+* **JL501** - unseeded global numpy randomness in ``src/``:
+  ``np.random.<anything>`` (the legacy global-state API) and
+  ``np.random.default_rng()`` *without* a seed argument.  Every
+  benchmark figure in this repo must be reproducible from a config
+  seed; ambient RNG state breaks that silently.
+* **JL502** - ``is`` / ``is not`` comparisons against numeric literals
+  or float sentinels (``np.nan``, ``math.inf``, ...).  Numpy scalars
+  are fresh objects, so identity comparison is always False; use
+  ``==`` / ``math.isnan``.
+* **JL503** - bare ``except:``; it swallows ``KeyboardInterrupt`` and
+  ``SystemExit``.  Catch ``Exception`` (or narrower).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from .core import Finding, Project, attr_chain
+
+_FLOAT_SENTINELS = {
+    ("np", "nan"), ("np", "inf"), ("numpy", "nan"), ("numpy", "inf"),
+    ("math", "nan"), ("math", "inf"),
+}
+
+
+def _is_np_random(chain: Tuple[str, ...]) -> bool:
+    return (len(chain) >= 2 and chain[0] in ("np", "numpy")
+            and chain[1] == "random")
+
+
+def check_hygiene(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in project.modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                if chain and _is_np_random(chain):
+                    if chain[-1] == "default_rng":
+                        if not node.args and not node.keywords:
+                            findings.append(module.finding(
+                                node, "JL501",
+                                "np.random.default_rng() without a "
+                                "seed; thread the config seed through "
+                                "for reproducibility"))
+                    else:
+                        findings.append(module.finding(
+                            node, "JL501",
+                            f"global numpy RNG call "
+                            f"{'.'.join(chain)}(); use a seeded "
+                            f"np.random.default_rng(seed) generator"))
+            elif isinstance(node, ast.Compare):
+                for op, comp in zip(node.ops, node.comparators):
+                    if not isinstance(op, (ast.Is, ast.IsNot)):
+                        continue
+                    for side in (node.left, comp):
+                        if _numeric_identity_operand(side):
+                            findings.append(module.finding(
+                                node, "JL502",
+                                "'is' comparison against a numeric "
+                                "value; numpy scalars are fresh "
+                                "objects, use == / math.isnan"))
+                            break
+            elif isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    findings.append(module.finding(
+                        node, "JL503",
+                        "bare 'except:'; catch Exception (or "
+                        "narrower) so KeyboardInterrupt/SystemExit "
+                        "propagate"))
+    return findings
+
+
+def _numeric_identity_operand(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and \
+            isinstance(node.value, (int, float, complex)) and \
+            not isinstance(node.value, bool):
+        return True
+    chain = attr_chain(node) if isinstance(node, ast.Attribute) else None
+    if chain and len(chain) == 2 and tuple(chain) in _FLOAT_SENTINELS:
+        return True
+    return False

@@ -1,0 +1,122 @@
+"""Merge-closure pass (JL301-JL303).
+
+A new aggregate added to ``core/queries.py`` must be answerable and
+mergeable everywhere before it can ship; otherwise it works in the
+single-instance engine and explodes the first time a sharded query or
+a router fallback touches it.  This pass pins three closure points:
+
+* **JL301** - every ``AggFunc`` member must have a dispatch branch in
+  ``core/merge.py::merge_results`` (the shard combiner; subset-merge
+  routing support rides on these rules being closed under subsets,
+  which ``tests/test_routing.py`` pins per aggregate).
+* **JL302** - every member must be handled by
+  ``core/estimators.py::uniform_estimate`` (the router's density
+  fallback dispatches on ``agg.value`` strings).
+* **JL303** - every member must be handled by
+  ``core/table.py::Table.ground_truth`` (the oracle used by tests and
+  benches; an aggregate without ground truth cannot be validated).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from .core import Finding, Module, Project
+
+ENUM_MODULE = "core/queries.py"
+ENUM_NAME = "AggFunc"
+
+
+def _enum_members(module: Module) -> Optional[Set[str]]:
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == ENUM_NAME:
+            members = set()
+            for item in node.body:
+                if isinstance(item, ast.Assign):
+                    for tgt in item.targets:
+                        if isinstance(tgt, ast.Name) and \
+                                not tgt.id.startswith("_"):
+                            members.add(tgt.id)
+            return members
+    return None
+
+
+def _find_function(module: Module, qualname: str) -> Optional[ast.AST]:
+    parts = qualname.split(".")
+    body = module.tree.body
+    for i, part in enumerate(parts):
+        nxt = None
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)) and node.name == part:
+                nxt = node
+                break
+        if nxt is None:
+            return None
+        if i == len(parts) - 1:
+            return nxt
+        body = nxt.body
+    return None
+
+
+def _attr_refs(fn: ast.AST, enum: str) -> Set[str]:
+    """``AggFunc.X`` member references inside ``fn``."""
+    refs = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name) and \
+                node.value.id == enum:
+            refs.add(node.attr)
+    return refs
+
+
+def _string_refs(fn: ast.AST, members: Set[str]) -> Set[str]:
+    """Uppercase string constants naming enum members inside ``fn``."""
+    refs = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Constant) and \
+                isinstance(node.value, str) and node.value in members:
+            refs.add(node.value)
+    return refs
+
+
+#: (code, module suffix, function qualname, ref mode, description)
+SITES = [
+    ("JL301", "core/merge.py", "merge_results", "attr",
+     "shard merge dispatch"),
+    ("JL302", "core/estimators.py", "uniform_estimate", "string",
+     "router uniform-density fallback"),
+    ("JL303", "core/table.py", "Table.ground_truth", "attr",
+     "exact ground-truth oracle"),
+]
+
+
+def check_merge_closure(project: Project) -> List[Finding]:
+    enum_module = project.module(ENUM_MODULE)
+    if enum_module is None:
+        return []
+    members = _enum_members(enum_module)
+    if not members:
+        return []
+
+    findings: List[Finding] = []
+    for code, suffix, qualname, mode, what in SITES:
+        module = project.module(suffix)
+        if module is None:
+            continue
+        fn = _find_function(module, qualname)
+        if fn is None:
+            findings.append(module.finding(
+                1, code, f"{qualname}() not found; the {what} must "
+                f"cover every {ENUM_NAME} member"))
+            continue
+        refs = (_attr_refs(fn, ENUM_NAME) if mode == "attr"
+                else _string_refs(fn, members))
+        for missing in sorted(members - refs):
+            findings.append(module.finding(
+                fn, code,
+                f"{ENUM_NAME}.{missing} has no handling in "
+                f"{qualname}() ({what}); new aggregates must close "
+                f"over merge, fallback and oracle before shipping"))
+    return findings

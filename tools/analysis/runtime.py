@@ -1,0 +1,216 @@
+"""Runtime lock-order recorder.
+
+The static pass (:mod:`tools.analysis.locks`) sees lexical ``with``
+nesting and resolvable calls; it cannot see orders that only emerge at
+run time (callbacks, executor hand-offs, data-dependent shard fan-out).
+This recorder closes that gap: while active, every ``threading.Lock`` /
+``threading.RLock`` *created* inside the block is wrapped so that each
+acquisition records, per thread, the stack of held locks and adds
+``held -> acquired`` edges to a process-wide order graph keyed by the
+lock's allocation site (``file:line``).
+
+Usage in a test::
+
+    rec = LockOrderRecorder()
+    with rec.wrapping():
+        engine = build_engine(...)      # locks allocated here are traced
+    ...  # exercise the engine from multiple threads
+    assert rec.cycles() == []
+
+Notes:
+
+* Sites, not instances, are the graph nodes: all per-shard ``_lock``
+  objects share one allocation site and therefore one node, exactly
+  like the static graph's ``JanusAQP._lock``.
+* Reentrant re-acquisition of the *same instance* (RLock) adds no
+  edge - it cannot deadlock.
+* Acquiring two instances from the same site adds a self-edge, which
+  :meth:`self_edges` reports separately from :meth:`cycles`: it is
+  deadlock-safe only under a canonical acquisition order, so tests can
+  assert it only happens where one is documented.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+class _TracedLock:
+    """Wraps a real lock, reporting acquisitions to the recorder."""
+
+    def __init__(self, inner, site: str, recorder: "LockOrderRecorder"):
+        self._inner = inner
+        self._site = site
+        self._recorder = recorder
+
+    def acquire(self, *args, **kwargs):
+        got = self._inner.acquire(*args, **kwargs)
+        if got:
+            self._recorder._on_acquire(self)
+        return got
+
+    def release(self):
+        self._recorder._on_release(self)
+        return self._inner.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+    def locked(self):
+        return self._inner.locked()
+
+    def __getattr__(self, name):
+        # Forward RLock internals (_is_owned, _release_save, ...) so a
+        # Condition built on a traced lock keeps working.
+        return getattr(self._inner, name)
+
+    def __repr__(self):
+        return f"<TracedLock {self._site} of {self._inner!r}>"
+
+
+class LockOrderRecorder:
+    """Process-wide lock-order graph built from traced acquisitions."""
+
+    def __init__(self) -> None:
+        self._meta = threading.Lock()
+        self._held = threading.local()
+        # (held site, acquired site) -> first observing thread name
+        self.edges: Dict[Tuple[str, str], str] = {}
+        self._self_edges: Set[str] = set()
+        self.sites: Set[str] = set()
+
+    # -- wrapping ---------------------------------------------------------
+
+    @contextmanager
+    def wrapping(self) -> Iterator["LockOrderRecorder"]:
+        """Patch the ``threading`` lock factories for the duration of
+        the block; locks allocated inside are traced forever after."""
+        real_lock, real_rlock = threading.Lock, threading.RLock
+        recorder = self
+
+        def make(factory):
+            def traced(*args, **kwargs):
+                inner = factory(*args, **kwargs)
+                site = _allocation_site()
+                if site is None:
+                    # Allocated by stdlib/third-party machinery (e.g.
+                    # concurrent.futures internals): leave it untouched
+                    # so Condition/Future plumbing keeps its real lock.
+                    return inner
+                with recorder._meta:
+                    recorder.sites.add(site)
+                return _TracedLock(inner, site, recorder)
+            return traced
+
+        threading.Lock = make(real_lock)    # type: ignore[assignment]
+        threading.RLock = make(real_rlock)  # type: ignore[assignment]
+        try:
+            yield self
+        finally:
+            threading.Lock = real_lock      # type: ignore[assignment]
+            threading.RLock = real_rlock    # type: ignore[assignment]
+
+    # -- acquisition hooks ------------------------------------------------
+
+    def _stack(self) -> List[Tuple[str, int]]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def _on_acquire(self, lock: _TracedLock) -> None:
+        stack = self._stack()
+        ident = id(lock)
+        if any(i == ident for _s, i in stack):
+            # RLock reentrancy on the same instance: no ordering edge.
+            stack.append((lock._site, ident))
+            return
+        new_edges: List[Tuple[str, str]] = []
+        self_edge = False
+        for held_site, _i in stack:
+            if held_site == lock._site:
+                self_edge = True
+            else:
+                new_edges.append((held_site, lock._site))
+        stack.append((lock._site, ident))
+        if new_edges or self_edge:
+            name = threading.current_thread().name
+            with self._meta:
+                for e in new_edges:
+                    self.edges.setdefault(e, name)
+                if self_edge:
+                    self._self_edges.add(lock._site)
+
+    def _on_release(self, lock: _TracedLock) -> None:
+        stack = self._stack()
+        ident = id(lock)
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i][1] == ident:
+                del stack[i]
+                return
+
+    # -- reporting --------------------------------------------------------
+
+    def self_edges(self) -> List[str]:
+        with self._meta:
+            return sorted(self._self_edges)
+
+    def cycles(self) -> List[List[str]]:
+        with self._meta:
+            edges = list(self.edges)
+        adj: Dict[str, Set[str]] = {}
+        for a, b in edges:
+            adj.setdefault(a, set()).add(b)
+            adj.setdefault(b, set())
+        found: List[List[str]] = []
+        seen: Set[Tuple[str, ...]] = set()
+        for start in sorted(adj):
+            stack = [(start, [start])]
+            while stack:
+                node, path = stack.pop()
+                for nxt in sorted(adj.get(node, ())):
+                    if nxt == start:
+                        key = tuple(sorted(path))
+                        if key not in seen:
+                            seen.add(key)
+                            found.append(path + [start])
+                    elif nxt not in path and len(path) < 8:
+                        stack.append((nxt, path + [nxt]))
+        return found
+
+
+#: Directory holding the standard library (site-packages lives under
+#: it too); locks allocated from there are not application locks.
+_STDLIB_DIR = os.path.dirname(os.__file__).replace("\\", "/")
+
+
+def _allocation_site() -> Optional[str]:
+    """``file:line`` of the nearest caller outside this module and the
+    ``threading`` module itself (RLock construction goes through it).
+
+    Returns ``None`` when that caller is stdlib/third-party code:
+    tracing the executor's internal Future locks would break
+    ``Condition`` plumbing and adds noise, not coverage.
+    """
+    for frame in reversed(traceback.extract_stack(limit=12)[:-2]):
+        fn = frame.filename.replace("\\", "/")
+        if fn.endswith("tools/analysis/runtime.py"):
+            continue
+        if "/threading.py" in fn or "/contextlib.py" in fn:
+            continue
+        if fn.startswith(_STDLIB_DIR):
+            return None
+        parts = fn.split("/")
+        short = "/".join(parts[-3:]) if len(parts) >= 3 else fn
+        return f"{short}:{frame.lineno}"
+    return None
