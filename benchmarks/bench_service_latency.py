@@ -25,6 +25,16 @@ Per series the artifact records client-observed p50/p99 latency and
 aggregate QPS; correctness is gated by a quiescent bit-identity check
 of served answers against in-process ``query_many``.
 
+The ISSUE 8 **fleet series** serves the same workload through a
+:class:`~repro.service.fleet.FleetCoordinator` at 1 / 2 / 4 worker
+processes: each fleet warm-starts from a ``save_sharded`` snapshot,
+its served answers are gated bit-identical against ``load_sharded``
+of the *same* snapshot (the in-process sharded engine), and the
+artifact records per-worker wire bytes next to QPS.  Scaling numbers
+are recorded, **never gated** - a 1-core CI box cannot demonstrate
+multi-process speedup; the gate is identity plus a full protocol
+round trip.
+
 Emits ``BENCH_service_latency.json``.  Set ``JANUS_BENCH_SMOKE=1``
 (the CI default) for a reduced run that still writes the artifact and
 still asserts grouping and correctness; wall-clock numbers are
@@ -33,6 +43,8 @@ recorded, never gated, since shared runners flake.
 
 import math
 import os
+import shutil
+import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -42,10 +54,12 @@ import numpy as np
 
 from conftest import emit, emit_json
 from repro.core.janus import JanusConfig
+from repro.core.persist import load_sharded, save_sharded
 from repro.core.queries import AggFunc, Query, Rectangle
 from repro.core.sharded import ShardedJanusAQP
 from repro.datasets import synthetic
 from repro.service import ServiceClient, serve_background
+from repro.service.fleet import FleetCoordinator
 
 SMOKE = os.environ.get("JANUS_BENCH_SMOKE", "") not in ("", "0")
 
@@ -60,6 +74,8 @@ MAX_BATCH = 64
 LINGER_MS = 2.0
 MIN_GROUPED = 8                         # ISSUE 5 acceptance floor
 QUERY_AGGS = (AggFunc.SUM, AggFunc.COUNT, AggFunc.AVG)
+FLEET_WORKERS = (1, 2, 4)               # ISSUE 8 fleet sweep
+FLEET_CLIENTS = (1, 8) if SMOKE else (1, 8, 64)
 
 
 @lru_cache(maxsize=None)
@@ -155,6 +171,50 @@ def check_bit_identity(handle, engine, pool):
     return failures
 
 
+def run_fleet_sweep(ds, pool):
+    """ISSUE 8 series: the fleet at 1/2/4 worker processes.
+
+    Per worker count a fresh snapshot is built, the fleet serves it
+    and a ``load_sharded`` twin of the *same* snapshot provides the
+    bit-identity reference - the strongest in-bench gate available
+    (identity plus a full binary-protocol round trip per request);
+    wall-clock scaling is recorded but never asserted.
+    """
+    rows = []
+    bit_failures = 0
+    wire_bytes = 0
+    for n_workers in FLEET_WORKERS:
+        seed_engine = ShardedJanusAQP(
+            ds.schema, ds.agg_attr, ds.predicate_attrs,
+            n_shards=n_workers,
+            config=JanusConfig(k=K_LEAVES, sample_rate=RATE,
+                               check_every=10 ** 9, seed=0))
+        seed_engine.insert_many(ds.data)
+        seed_engine.initialize()
+        snapdir = tempfile.mkdtemp(prefix=f"janus-fleet{n_workers}-")
+        save_sharded(seed_engine, snapdir)
+        seed_engine.close()
+        fleet = FleetCoordinator(snapdir)
+        twin = load_sharded(snapdir)
+        try:
+            with serve_background(fleet, port=0, max_batch=MAX_BATCH,
+                                  max_linger_ms=LINGER_MS,
+                                  cache_enabled=False) as handle:
+                bit_failures += check_bit_identity(handle, twin, pool)
+                for n_clients in FLEET_CLIENTS:
+                    row = drive_series(handle, pool, n_clients)
+                    row["cache"] = False
+                    row["workers"] = n_workers
+                    rows.append(row)
+                for w in fleet.fleet_stats()["workers"].values():
+                    wire_bytes += w["bytes_sent"] + w["bytes_received"]
+        finally:
+            twin.close()
+            fleet.close()
+            shutil.rmtree(snapdir, ignore_errors=True)
+    return rows, bit_failures, wire_bytes
+
+
 @lru_cache(maxsize=None)
 def run_service_latency():
     ds, engine = build_world()
@@ -171,11 +231,16 @@ def run_service_latency():
                 row = drive_series(handle, pool, n_clients)
                 row["cache"] = cache_enabled
                 series.append(row)
+    fleet_series, fleet_failures, fleet_wire_bytes = \
+        run_fleet_sweep(ds, pool)
 
     uncached_at_64 = next(r for r in series
                           if r["clients"] == 64 and not r["cache"])
     cached_at_64 = next(r for r in series
                         if r["clients"] == 64 and r["cache"])
+    top = max(FLEET_CLIENTS)
+    fleet_at_top = {r["workers"]: r for r in fleet_series
+                    if r["clients"] == top}
     return {
         "smoke": SMOKE,
         "n_rows": N_ROWS,
@@ -190,6 +255,13 @@ def run_service_latency():
         "qps_speedup_from_cache_at_64":
             cached_at_64["qps"] / uncached_at_64["qps"],
         "n_bit_identity_failures": bit_failures,
+        "fleet_series": fleet_series,
+        "fleet_clients_max": top,
+        # Recorded, never gated: meaningless on a 1-core runner.
+        "fleet_qps_speedup_4v1":
+            fleet_at_top[4]["qps"] / fleet_at_top[1]["qps"],
+        "fleet_wire_bytes_total": fleet_wire_bytes,
+        "n_fleet_bit_identity_failures": fleet_failures,
     }
 
 
@@ -215,11 +287,30 @@ def format_table(r) -> str:
         f"{r['cache_hit_ratio_at_64']:.0%} "
         f"({r['qps_speedup_from_cache_at_64']:.2f}x qps); "
         f"{r['n_bit_identity_failures']} bit-identity failures")
+    lines.append(
+        f"{'workers':>8}{'clients':>8}{'p50 ms':>9}{'p99 ms':>9}"
+        f"{'qps':>9}{'avg batch':>11}")
+    for row in r["fleet_series"]:
+        lines.append(
+            f"{row['workers']:>8}{row['clients']:>8}"
+            f"{row['p50_ms']:>9.2f}{row['p99_ms']:>9.2f}"
+            f"{row['qps']:>9,.0f}{row['avg_batch_size']:>11.1f}")
+    lines.append(
+        f"fleet 4-vs-1 worker qps at {r['fleet_clients_max']} clients: "
+        f"{r['fleet_qps_speedup_4v1']:.2f}x (recorded, not gated); "
+        f"{r['fleet_wire_bytes_total']:,} bytes on the wire; "
+        f"{r['n_fleet_bit_identity_failures']} fleet bit-identity "
+        f"failures")
     return "\n".join(lines)
 
 
 def test_service_latency(benchmark):
-    """ISSUE 5 acceptance: >= 8 requests grouped per engine call."""
+    """ISSUE 5 acceptance: >= 8 requests grouped per engine call.
+
+    ISSUE 8 adds the fleet gate: every served fleet answer must be
+    bit-identical to ``load_sharded`` of the same snapshot.  Fleet
+    QPS scaling is recorded in the artifact but never asserted.
+    """
     result = benchmark.pedantic(run_service_latency, rounds=1,
                                 iterations=1)
     emit("service_latency", format_table(result))
@@ -227,3 +318,4 @@ def test_service_latency(benchmark):
     assert result["n_bit_identity_failures"] == 0
     assert result["max_grouped_at_64"] >= MIN_GROUPED
     assert result["cache_hit_ratio_at_64"] > 0.0
+    assert result["n_fleet_bit_identity_failures"] == 0

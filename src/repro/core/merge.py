@@ -200,3 +200,29 @@ def merge_results(query: Query, results: Sequence[QueryResult],
     if query.agg in (AggFunc.MIN, AggFunc.MAX):
         return merge_minmax(query.agg, results, empty_ok)
     raise ValueError(f"unsupported aggregate {query.agg}")
+
+
+def merge_planned(queries: Sequence[Query],
+                  subsets: Sequence[Sequence[int]], get,
+                  empty_ok) -> List[QueryResult]:
+    """Merge a planned batch: one combined answer per query.
+
+    ``subsets[qi]`` is query ``qi``'s contributing shard subset (from
+    the router), ``get(shard, qi)`` looks up that shard's answer and
+    ``empty_ok(shard)`` reports provable emptiness for the MIN/MAX
+    exactness rule.  A single-contributor query passes its shard answer
+    through verbatim - a merge over one contributor is the identity for
+    every aggregate, and the byte-identical pass-through is what the
+    routed-vs-broadcast and fleet-vs-in-process identity gates pin.
+    Shared by :class:`~repro.core.sharded.ShardedJanusAQP` and the
+    fleet coordinator so both merge exactly the same way.
+    """
+    out: List[QueryResult] = []
+    for qi, q in enumerate(queries):
+        contrib = subsets[qi]
+        if len(contrib) == 1:
+            out.append(get(contrib[0], qi))
+            continue
+        out.append(merge_results(q, [get(s, qi) for s in contrib],
+                                 [empty_ok(s) for s in contrib]))
+    return out

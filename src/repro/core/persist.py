@@ -36,6 +36,7 @@ import numpy as np
 from .dpt import DynamicPartitionTree
 from .janus import JanusAQP, JanusConfig
 from .node import DPTNode
+from .placement import stagger_trigger
 from .queries import AggFunc, Rectangle
 from .routing import ShardSummary
 from .sharded import ShardedJanusAQP
@@ -412,4 +413,89 @@ def load_sharded(dir_path: Union[str, Path]) -> ShardedJanusAQP:
                                           sharded.tables[s])
         sharded._stagger_trigger(s)
     return sharded
+
+
+def read_sharded_manifest(dir_path: Union[str, Path]) -> Dict[str, object]:
+    """Coordinator-side view of a :func:`save_sharded` snapshot.
+
+    Loads the manifest *without* building any engine: the fleet
+    coordinator (:mod:`repro.service.fleet`) keeps the placement maps,
+    routing summaries and per-shard counters itself while worker
+    processes own the synopses.  Returns a dict with the parsed
+    ``meta`` mapping plus ``shard_of`` / ``local_tid`` (tid maps,
+    length ``meta["next_tid"]``), ``attr_bounds`` (or ``None``),
+    ``summaries`` (one restored :class:`~repro.core.routing.ShardSummary`
+    per shard) and ``table_sizes`` (live rows per shard).
+    """
+    src = Path(dir_path)
+    manifest = src / _MANIFEST
+    if not manifest.exists():
+        raise FileNotFoundError(f"no {_MANIFEST} under {src}")
+    with np.load(manifest, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        if int(meta["version"]) != _SHARDED_FORMAT_VERSION:
+            raise ValueError(f"fleet warm-start needs a v"
+                             f"{_SHARDED_FORMAT_VERSION} snapshot, got "
+                             f"v{meta['version']}")
+        n_shards = int(meta["n_shards"])
+        summaries = [ShardSummary.from_state_arrays(
+            {key: archive[f"summary{s}_{key}"]
+             for key in ("meta", "lo", "hi", "edges", "counts")})
+            for s in range(n_shards)]
+        table_sizes = [int(archive[f"table{s}_tids"].shape[0])
+                       for s in range(n_shards)]
+        return {
+            "meta": meta,
+            "shard_of": archive["shard_of"].copy(),
+            "local_tid": archive["local_tid"].copy(),
+            "attr_bounds": (archive["attr_bounds"].copy()
+                            if meta.get("has_attr_bounds") else None),
+            "summaries": summaries,
+            "table_sizes": table_sizes,
+        }
+
+
+def load_shard(dir_path: Union[str, Path], shard_id: int) -> JanusAQP:
+    """Warm-start one shard of a :func:`save_sharded` snapshot.
+
+    The fleet's worker processes each restore exactly one shard -
+    archival table, synopsis (when the shard was initialized) and the
+    staggered forced-repartition offset - without paying for the other
+    N-1 shards' arrays.  The construction order matches
+    :func:`load_sharded` step for step (fresh engine against an empty
+    table, table restored in place, synopsis grafted last), so a
+    restored worker shard is state-identical to slot ``shard_id`` of
+    the fully restored fleet; an uninitialized shard comes back as a
+    fresh engine over its restored rows and initializes lazily on its
+    first insert, exactly like the in-process coordinator's.
+    """
+    src = Path(dir_path)
+    manifest = src / _MANIFEST
+    if not manifest.exists():
+        raise FileNotFoundError(f"no {_MANIFEST} under {src}")
+    with np.load(manifest, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        if int(meta["version"]) != _SHARDED_FORMAT_VERSION:
+            raise ValueError(f"fleet warm-start needs a v"
+                             f"{_SHARDED_FORMAT_VERSION} snapshot, got "
+                             f"v{meta['version']}")
+        s = int(shard_id)
+        if not (0 <= s < int(meta["n_shards"])):
+            raise ValueError(f"snapshot has {meta['n_shards']} shards, "
+                             f"no shard {s}")
+        cfg_dict = dict(meta["config"])
+        cfg_dict["focus_agg"] = AggFunc(cfg_dict["focus_agg"])
+        config = JanusConfig(**cfg_dict)
+        table = Table(tuple(meta["schema"]))
+        janus = JanusAQP(
+            table, meta["agg_attr"], meta["predicate_attrs"],
+            config=dataclasses.replace(config, seed=config.seed + s),
+            stat_attrs=meta["stat_attrs"])
+        _restore_table(table, archive[f"table{s}_tids"],
+                       archive[f"table{s}_rows"],
+                       int(meta["table_next_tids"][s]))
+    if meta["initialized"][s]:
+        janus = load_synopsis(str(src / f"shard{s}.npz"), table)
+        stagger_trigger(janus, s, int(meta["n_shards"]))
+    return janus
 

@@ -1,0 +1,255 @@
+"""Shard placement shared by in-process and multi-process coordinators.
+
+:class:`~repro.core.sharded.ShardedJanusAQP` and the process-per-shard
+serving fleet (:mod:`repro.service.fleet`) answer the same two
+questions for every batch: *which shard gets each new row* and *which
+shard currently owns a global tid*.  The answers must agree bit-for-bit
+- the fleet's acceptance gate is answer-identity with the in-process
+engine - so the logic lives here once:
+
+* :func:`place_batch` - the pure placement function (``hash`` /
+  ``range`` / ``attr`` modes, identical semantics to the historical
+  ``ShardedJanusAQP._place``);
+* :func:`strike_attr_bounds` - lazy quantile cuts for ``attr``
+  placement, struck from the first batch that carries finite routing
+  values;
+* :func:`grow_tid_maps` - capacity doubling for the global
+  tid-to-(shard, local) maps;
+* :func:`stagger_trigger` - the phase-offset of per-shard forced
+  repartition counters (the one-shard-rebuilds-at-a-time cadence);
+* :class:`PlacementMap` - a lock-guarded tid-map owner for
+  coordinators that do *not* hold the shards in-process (the fleet
+  coordinator talks to worker processes, so the in-process fan-out's
+  map bookkeeping is re-packaged here behind begin/commit methods).
+
+``ShardedJanusAQP`` keeps its historical field layout (tests and
+persistence address ``_shard_of`` / ``_local_tid`` directly) and
+delegates the logic to the functions below.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["PlacementMap", "grow_tid_maps", "place_batch",
+           "stagger_trigger", "strike_attr_bounds"]
+
+
+def strike_attr_bounds(vals: np.ndarray,
+                       n_shards: int) -> Optional[np.ndarray]:
+    """Quantile cut values for ``attr`` placement, or ``None``.
+
+    Uses only the finite values (NaNs place onto the last shard and
+    must not skew the cuts); with no finite value at all there is
+    nothing to cut yet and the caller keeps placing on shard 0 until a
+    representative batch arrives.
+    """
+    finite = vals[np.isfinite(vals)]
+    if finite.size == 0:
+        return None
+    qs = np.arange(1, n_shards) / n_shards
+    return np.quantile(finite, qs)
+
+
+def place_batch(sharding: str, n_shards: int, tids: np.ndarray,
+                rows: Optional[np.ndarray] = None, route_col: int = 0,
+                attr_bounds: Optional[np.ndarray] = None,
+                range_block: int = 8192) -> np.ndarray:
+    """Initial shard placement for a new batch (vectorized, pure).
+
+    ``hash``/``range`` place by tid; ``attr`` places by the routing
+    attribute's value against ``attr_bounds``.  Values past the outer
+    bounds land on the edge shards; NaNs sort past every bound onto the
+    last shard - placement never affects correctness, only routing
+    selectivity.  With ``attr`` placement and no bounds struck yet the
+    whole batch lands on shard 0 (the caller strikes bounds first when
+    it can, see :func:`strike_attr_bounds`).
+    """
+    if sharding == "hash":
+        return tids % n_shards
+    if sharding == "range":
+        return (tids // range_block) % n_shards
+    if attr_bounds is None:
+        return np.zeros(tids.shape[0], dtype=np.int64)
+    vals = rows[:, route_col]
+    return np.searchsorted(attr_bounds, vals,
+                           side="right").astype(np.int64)
+
+
+def grow_tid_maps(shard_of: np.ndarray, local_tid: np.ndarray,
+                  need: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return tid maps with capacity ``>= need`` (doubling growth).
+
+    The input arrays are returned unchanged when they already fit;
+    otherwise fresh arrays are allocated (``-1`` marks dead/unassigned
+    slots in ``shard_of``) and the old contents copied over.
+    """
+    cap = shard_of.shape[0]
+    if need <= cap:
+        return shard_of, local_tid
+    new_cap = max(need, 2 * cap)
+    grown_of = np.full(new_cap, -1, dtype=np.int64)
+    grown_of[:cap] = shard_of
+    grown_local = np.zeros(new_cap, dtype=np.int64)
+    grown_local[:cap] = local_tid
+    return grown_of, grown_local
+
+
+def stagger_trigger(shard, shard_id: int, n_shards: int) -> None:
+    """Phase-offset a shard's forced-repartition counter.
+
+    Under balanced placement every shard crosses a shared
+    ``repartition_every`` threshold in the *same* ingest batch, so all
+    N rebuilds would land on one request.  Setting shard s's update
+    counter to ``s/N`` of the period right after its first build
+    spreads the first firing across the period; afterwards each shard
+    re-fires every R local updates and the offsets persist, so at most
+    one shard is rebuilding at a time.  Runs on every path that first
+    builds a shard - eager initialize, lazy ingest build, rebalance
+    into an empty shard, snapshot restore, and a fleet worker's
+    warm start - with the identical formula, which the fleet's
+    answer-identity gate depends on.
+    """
+    period = shard.config.repartition_every
+    trigger = shard.trigger
+    if not period or trigger is None:
+        return
+    trigger.state.updates_since_repartition = \
+        shard_id * int(period) // n_shards
+
+
+class PlacementMap:
+    """Lock-guarded global-tid bookkeeping for an out-of-process fleet.
+
+    Owns what ``ShardedJanusAQP`` keeps inline: the
+    global-tid-to-(shard, local-tid) maps, the tid counter and the
+    ``attr`` placement bounds.  The begin/commit split mirrors the
+    in-process ingest flow - tids are assigned and placed under the
+    lock, the (remote) shards ingest outside it, and the ownership rows
+    are written back under the lock once the local tids are known - so
+    a concurrent liveness probe never sees a half-written batch.
+    """
+
+    def __init__(self, n_shards: int, sharding: str,
+                 range_block: int = 8192, route_col: int = 0,
+                 attr_bounds: Optional[np.ndarray] = None) -> None:
+        self.n_shards = int(n_shards)
+        self.sharding = sharding
+        self.range_block = int(range_block)
+        self.route_col = int(route_col)
+        self.attr_bounds = attr_bounds  # guarded-by: _map_lock
+        self._shard_of = np.full(64, -1, dtype=np.int64)  # guarded-by: _map_lock
+        self._local_tid = np.zeros(64, dtype=np.int64)  # guarded-by: _map_lock
+        self._next_tid = 0  # guarded-by: _map_lock
+        self._map_lock = threading.Lock()
+
+    def restore(self, shard_of: np.ndarray, local_tid: np.ndarray,
+                next_tid: int) -> None:
+        """Adopt the tid maps of a ``save_sharded`` manifest."""
+        next_tid = int(next_tid)
+        with self._map_lock:
+            self._shard_of, self._local_tid = grow_tid_maps(
+                self._shard_of, self._local_tid, max(next_tid, 1))
+            self._shard_of[:next_tid] = shard_of
+            self._local_tid[:next_tid] = local_tid
+            self._next_tid = next_tid
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+    def begin_insert(self, rows: np.ndarray
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Assign global tids and place a row batch; returns
+        ``(tids, placement)``.  Ownership is not yet visible - commit
+        with :meth:`commit_insert` once the per-shard local tids are
+        known."""
+        n = rows.shape[0]
+        with self._map_lock:
+            tids = np.arange(self._next_tid, self._next_tid + n,
+                             dtype=np.int64)
+            self._next_tid += n
+            self._shard_of, self._local_tid = grow_tid_maps(
+                self._shard_of, self._local_tid, self._next_tid)
+            if self.sharding == "attr" and self.attr_bounds is None:
+                self.attr_bounds = strike_attr_bounds(
+                    rows[:, self.route_col], self.n_shards)
+            placement = place_batch(
+                self.sharding, self.n_shards, tids, rows,
+                self.route_col, self.attr_bounds, self.range_block)
+        return tids, placement
+
+    def commit_insert(self, tids: np.ndarray, placement: np.ndarray,
+                      locals_of: Dict[int, Tuple[np.ndarray, np.ndarray]]
+                      ) -> None:
+        """Publish ownership: ``locals_of[s] = (sel, local_tids)`` per
+        touched shard, with ``sel`` indexing into the batch."""
+        with self._map_lock:
+            for (sel, local) in locals_of.values():
+                g = tids[sel]
+                self._shard_of[g] = placement[sel]
+                self._local_tid[g] = local
+
+    # ------------------------------------------------------------------ #
+    # delete
+    # ------------------------------------------------------------------ #
+    def begin_delete(self, tid_arr: np.ndarray
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Validate and claim a delete batch; returns
+        ``(owners, local_tids)`` aligned with ``tid_arr``.
+
+        A dead or duplicated tid raises ``KeyError`` before any
+        ownership row is cleared, so the fleet never ends up
+        half-deleted - the same all-or-nothing contract as
+        ``ShardedJanusAQP.delete_many``.
+        """
+        with self._map_lock:
+            bad = (tid_arr < 0) | (tid_arr >= self._shard_of.shape[0])
+            if not bad.any():
+                owners = self._shard_of[tid_arr]
+                bad = owners < 0
+            if bad.any():
+                raise KeyError(
+                    f"tid {int(tid_arr[np.argmax(bad)])} is not live")
+            if np.unique(tid_arr).size != tid_arr.size:
+                raise KeyError("duplicate tid in delete batch")
+            locals_ = self._local_tid[tid_arr]
+            self._shard_of[tid_arr] = -1
+        return owners, locals_
+
+    # ------------------------------------------------------------------ #
+    # probes
+    # ------------------------------------------------------------------ #
+    def owner(self, tid: int) -> int:
+        """The shard currently holding a live global tid (locked)."""
+        t = int(tid)
+        with self._map_lock:
+            if 0 <= t < self._shard_of.shape[0] and self._shard_of[t] >= 0:
+                return int(self._shard_of[t])
+        raise KeyError(f"tid {tid} is not live")
+
+    def live(self, tid: int) -> bool:
+        """Locked liveness probe."""
+        t = int(tid)
+        with self._map_lock:
+            return bool(0 <= t < self._shard_of.shape[0]
+                        and self._shard_of[t] >= 0)
+
+    def live_tids(self) -> np.ndarray:
+        """All live global tids, ascending (snapshot under the lock)."""
+        with self._map_lock:
+            return np.flatnonzero(self._shard_of[:self._next_tid] >= 0)
+
+    @property
+    def next_tid(self) -> int:
+        with self._map_lock:
+            return self._next_tid
+
+    def state_arrays(self) -> Tuple[np.ndarray, np.ndarray, int]:
+        """``(shard_of, local_tid, next_tid)`` copies for persistence."""
+        with self._map_lock:
+            n = self._next_tid
+            return (self._shard_of[:n].copy(),
+                    self._local_tid[:n].copy(), n)

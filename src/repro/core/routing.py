@@ -45,12 +45,14 @@ shard-queries pruned, and a shards-touched histogram - surfaced through
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ShardSummary", "RoutingStats", "DEFAULT_BINS"]
+__all__ = ["ShardSummary", "RoutingStats", "DEFAULT_BINS",
+           "plan_contributors", "plan_query_subsets"]
 
 #: Default histogram resolution per predicate attribute.  32 bins keep
 #: the summary at a few hundred bytes per shard while still resolving
@@ -327,3 +329,38 @@ def plan_contributors(summaries: Sequence[Optional[ShardSummary]],
             masks.append(summary.may_contain_many(lo, hi))
     return [[s for s, mask in zip(shard_ids, masks) if mask[qi]]
             for qi in range(nq)]
+
+
+def plan_query_subsets(queries: Sequence,
+                       predicate_attrs: Tuple[str, ...],
+                       summaries: Sequence[Optional[ShardSummary]],
+                       live: Sequence[int]) -> List[List[int]]:
+    """Contributing shard subsets for a :class:`~repro.core.queries.Query`
+    batch - the planning step both the in-process
+    :class:`~repro.core.sharded.ShardedJanusAQP` and the fleet
+    coordinator (:mod:`repro.service.fleet`) run, shared so their routed
+    answers come from identical subsets.
+
+    Off-template queries (predicate attributes that do not match the
+    coordinator's) are never pruned: every live shard stays in the
+    subset, so the shard engines raise the same errors broadcast would -
+    the router must not swallow a ``ValueError`` into a silently empty
+    answer.
+    """
+    nq = len(queries)
+    d = len(predicate_attrs)
+    lo = np.empty((nq, d))
+    hi = np.empty((nq, d))
+    forced: List[int] = []
+    for qi, q in enumerate(queries):
+        if q.predicate_attrs == predicate_attrs:
+            lo[qi] = q.rect.lo
+            hi[qi] = q.rect.hi
+        else:
+            forced.append(qi)
+            lo[qi] = -math.inf
+            hi[qi] = math.inf
+    subsets = plan_contributors(summaries, live, lo, hi)
+    for qi in forced:
+        subsets[qi] = list(live)
+    return subsets

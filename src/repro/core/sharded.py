@@ -48,6 +48,7 @@ engine fed the identical stream.
 
 from __future__ import annotations
 
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
@@ -58,9 +59,11 @@ import math
 import numpy as np
 
 from .janus import JanusAQP, JanusConfig, ReoptReport
-from .merge import merge_results
+from .merge import merge_planned
+from .placement import (grow_tid_maps, place_batch, stagger_trigger,
+                        strike_attr_bounds)
 from .queries import AggFunc, Query, QueryResult
-from .routing import RoutingStats, ShardSummary, plan_contributors
+from .routing import RoutingStats, ShardSummary, plan_query_subsets
 from .table import Table
 
 
@@ -144,7 +147,9 @@ class ShardedJanusAQP:
         first insert batch (the documented seed-then-initialize flow),
         so a representative seed yields balanced shards.
     max_workers:
-        Thread-pool width for the fan-out (default: ``n_shards``).
+        Thread-pool width for the fan-out (default: ``n_shards`` capped
+        at ``os.cpu_count()`` - more fan-out threads than cores only
+        adds context switching under the GIL).
     """
 
     def __init__(self, schema: Sequence[str], agg_attr: str,
@@ -214,7 +219,8 @@ class ShardedJanusAQP:
         self._map_lock = threading.Lock()
         self._pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _pool_lock
         self._pool_lock = threading.Lock()
-        self._max_workers = max_workers or self.n_shards
+        self._max_workers = max_workers or min(self.n_shards,
+                                               os.cpu_count() or 1)
         self.table = _ShardedTableView(self)
 
     # ------------------------------------------------------------------ #
@@ -268,35 +274,20 @@ class ShardedJanusAQP:
 
         ``hash``/``range`` place by tid; ``attr`` places by the routing
         attribute's value against :attr:`attr_bounds` (struck lazily
-        from this first batch's quantiles when not configured).  Values
-        past the outer bounds land on the edge shards; NaNs sort past
-        every bound onto the last shard - placement never affects
-        correctness, only routing selectivity.
+        from this first batch's quantiles when not configured).  The
+        logic itself lives in :mod:`repro.core.placement` so the
+        process-per-shard fleet coordinator places identically.
         """
-        if self.sharding == "hash":
-            return tids % self.n_shards
-        if self.sharding == "range":
-            return (tids // self.range_block) % self.n_shards
-        vals = rows[:, self._route_col]
-        if self.attr_bounds is None:
-            finite = vals[np.isfinite(vals)]
-            if finite.size == 0:
-                return np.zeros(tids.shape[0], dtype=np.int64)
-            qs = np.arange(1, self.n_shards) / self.n_shards
-            self.attr_bounds = np.quantile(finite, qs)
-        return np.searchsorted(self.attr_bounds, vals,
-                               side="right").astype(np.int64)
+        if self.sharding == "attr" and self.attr_bounds is None:
+            self.attr_bounds = strike_attr_bounds(
+                rows[:, self._route_col], self.n_shards)
+        return place_batch(self.sharding, self.n_shards, tids, rows,
+                           self._route_col, self.attr_bounds,
+                           self.range_block)
 
     def _ensure_tid_capacity(self, need: int) -> None:  # requires-lock: _map_lock
-        cap = self._shard_of.shape[0]
-        if need <= cap:
-            return
-        new_cap = max(need, 2 * cap)
-        shard_of = np.full(new_cap, -1, dtype=np.int64)
-        shard_of[:cap] = self._shard_of
-        local = np.zeros(new_cap, dtype=np.int64)
-        local[:cap] = self._local_tid
-        self._shard_of, self._local_tid = shard_of, local
+        self._shard_of, self._local_tid = grow_tid_maps(
+            self._shard_of, self._local_tid, need)
 
     def shard_of(self, tid: int) -> int:
         """The shard currently holding a live global tid.
@@ -385,14 +376,11 @@ class ShardedJanusAQP:
         fleet's worst-case stall drops to one *shard-sized*
         re-initialization.  Runs on every path that first builds a
         shard (eager initialize, lazy ingest build, rebalance into an
-        empty shard).
+        empty shard); the formula lives in
+        :func:`repro.core.placement.stagger_trigger` so fleet workers
+        warm-starting a shard apply the identical offset.
         """
-        period = self.config.repartition_every
-        trigger = self.shards[s].trigger
-        if not period or trigger is None:
-            return
-        trigger.state.updates_since_repartition = \
-            s * int(period) // self.n_shards
+        stagger_trigger(self.shards[s], s, self.n_shards)
 
     def reoptimize(self) -> List[Optional[ReoptReport]]:
         """Staggered re-initialization: one shard rebuilds at a time.
@@ -573,44 +561,21 @@ class ShardedJanusAQP:
                 lambda s: self.shards[s].query_many(queries), live)
             of_shard = dict(zip(live, per_shard))
             get = lambda s, qi: of_shard[s][qi]
-        out: List[QueryResult] = []
-        for qi, q in enumerate(queries):
-            contrib = subsets[qi]
-            if len(contrib) == 1:
-                out.append(get(contrib[0], qi))
-                continue
-            out.append(merge_results(
-                q, [get(s, qi) for s in contrib],
-                [len(self.tables[s]) == 0 for s in contrib]))
-        return out
+        empties = [len(t) == 0 for t in self.tables]
+        return merge_planned(queries, subsets, get,
+                             lambda s: empties[s])
 
     def _plan(self, queries: Sequence[Query],
               live: Sequence[int]) -> List[List[int]]:
         """Per-query contributing shard subsets (conservative).
 
-        Off-template queries (predicate attributes that do not match
-        the fleet's) are never pruned: every live shard stays in the
-        subset, so the shard engines raise the same errors broadcast
-        would - the router must not swallow a ``ValueError`` into a
-        silently empty answer.
+        Delegates to :func:`repro.core.routing.plan_query_subsets` -
+        shared with the fleet coordinator, whose routed answers must
+        plan identically.  Off-template queries are never pruned, so
+        the shard engines raise the same errors broadcast would.
         """
-        nq = len(queries)
-        d = len(self.predicate_attrs)
-        lo = np.empty((nq, d))
-        hi = np.empty((nq, d))
-        forced: List[int] = []
-        for qi, q in enumerate(queries):
-            if q.predicate_attrs == self.predicate_attrs:
-                lo[qi] = q.rect.lo
-                hi[qi] = q.rect.hi
-            else:
-                forced.append(qi)
-                lo[qi] = -math.inf
-                hi[qi] = math.inf
-        subsets = plan_contributors(self.summaries, live, lo, hi)
-        for qi in forced:
-            subsets[qi] = list(live)
-        return subsets
+        return plan_query_subsets(queries, self.predicate_attrs,
+                                  self.summaries, live)
 
     def _dispatch_routed(self, queries: Sequence[Query],
                          subsets: Sequence[Sequence[int]],

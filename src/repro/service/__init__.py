@@ -13,7 +13,12 @@ client-facing AQP service, stdlib only:
 * :mod:`~repro.service.server` / :mod:`~repro.service.client` - the
   asyncio HTTP/1.1 server (``/query``, ``/sql``, ``/insert``,
   ``/delete``, ``/stats``, ``/metrics``) and the thin synchronous
-  client the tests and benchmark drive it with.
+  client the tests and benchmark drive it with;
+* :mod:`~repro.service.fleet` / :mod:`~repro.service.worker` - the
+  process-per-shard serving fleet (``--workers N``): one supervised
+  worker process per shard behind a binary frame protocol
+  (:mod:`repro.broker.frames`), bit-identical to the in-process
+  sharded engine and free of its single shared GIL.
 
 ``python -m repro.service`` starts a server from the command line; see
 ``examples/serving.py`` for the end-to-end walkthrough and
@@ -23,12 +28,13 @@ client-facing AQP service, stdlib only:
 from .batcher import BatcherStats, MicroBatcher
 from .cache import CacheStats, ResultCache
 from .client import ServiceClient, ServiceError
+from .fleet import FleetCoordinator, FleetUnavailableError
 from .server import AQPServer, ServiceHandle, serve_background
 from .sqlfront import ParsedSQL, SQLError, compile_sql, parse_sql
 
 __all__ = [
-    "AQPServer", "BatcherStats", "CacheStats", "MicroBatcher",
-    "ParsedSQL", "ResultCache", "SQLError", "ServiceClient",
-    "ServiceError", "ServiceHandle", "compile_sql", "parse_sql",
-    "serve_background",
+    "AQPServer", "BatcherStats", "CacheStats", "FleetCoordinator",
+    "FleetUnavailableError", "MicroBatcher", "ParsedSQL",
+    "ResultCache", "SQLError", "ServiceClient", "ServiceError",
+    "ServiceHandle", "compile_sql", "parse_sql", "serve_background",
 ]

@@ -6,11 +6,16 @@ Starts an :class:`~repro.service.server.AQPServer` over either
   from a :func:`~repro.core.persist.save_sharded` directory
   (``--load DIR``), or
 * a demo engine seeded from a named synthetic dataset
-  (``--dataset``/``--rows``), sharded when ``--shards > 1``.
+  (``--dataset``/``--rows``), sharded when ``--shards > 1``, or
+* a process-per-shard :class:`~repro.service.fleet.FleetCoordinator`
+  (``--workers N``): the demo (or ``--load``) snapshot is served by
+  ``N`` supervised worker processes, one shard each, so query fan-out
+  runs on ``N`` independent GILs.
 
 Examples::
 
     PYTHONPATH=src python -m repro.service --port 8080 --shards 4
+    PYTHONPATH=src python -m repro.service --port 8080 --workers 4
     PYTHONPATH=src python -m repro.service --load /var/lib/janus/snap
 
 Runs until interrupted (Ctrl-C shuts down gracefully).
@@ -42,6 +47,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="warm-start from a save_sharded() directory")
     parser.add_argument("--shards", type=int, default=1,
                         help="shard count for a fresh demo engine")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="serve through a process-per-shard fleet "
+                             "of N worker processes (0 = in-process)")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="cap the in-process fan-out pool / fleet "
+                             "dispatch pool (default: min(shards, "
+                             "cpu_count))")
     parser.add_argument("--dataset", default="nyc_taxi",
                         help="synthetic dataset seeding the demo engine")
     parser.add_argument("--rows", type=int, default=50_000,
@@ -62,6 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def build_engine(args: argparse.Namespace):
+    if args.workers > 0:
+        return _build_fleet(args)
     if args.load is not None:
         from ..core.persist import load_sharded
         engine = load_sharded(args.load)
@@ -74,7 +88,9 @@ def build_engine(args: argparse.Namespace):
     if args.shards > 1:
         engine = ShardedJanusAQP(ds.schema, ds.agg_attr,
                                  ds.predicate_attrs,
-                                 n_shards=args.shards, config=config)
+                                 n_shards=args.shards,
+                                 max_workers=args.max_workers,
+                                 config=config)
         engine.insert_many(ds.data)
         engine.initialize()
     else:
@@ -86,6 +102,41 @@ def build_engine(args: argparse.Namespace):
     print(f"seeded {args.dataset}: {len(engine.table):,} rows, "
           f"{args.shards} shard(s), template "
           f"{ds.agg_attr} / {', '.join(ds.predicate_attrs)}")
+    return engine
+
+
+def _build_fleet(args: argparse.Namespace):
+    """Spawn a :class:`FleetCoordinator` over ``--workers`` processes.
+
+    With ``--load`` the given snapshot directory is served directly
+    (its shard count wins over ``--workers``); otherwise a demo
+    sharded engine is built, snapshotted to a temp directory, closed,
+    and the fleet warm-starts every worker from that snapshot.
+    """
+    import tempfile
+
+    from .fleet import FleetCoordinator
+
+    if args.load is not None:
+        snapdir = args.load
+    else:
+        ds = synthetic.load(args.dataset, n=args.rows, seed=args.seed)
+        config = JanusConfig(k=args.k, sample_rate=args.sample_rate,
+                             seed=args.seed)
+        seed_engine = ShardedJanusAQP(ds.schema, ds.agg_attr,
+                                      ds.predicate_attrs,
+                                      n_shards=args.workers,
+                                      max_workers=args.max_workers,
+                                      config=config)
+        seed_engine.insert_many(ds.data)
+        seed_engine.initialize()
+        snapdir = tempfile.mkdtemp(prefix="janus-fleet-")
+        from ..core.persist import save_sharded
+        save_sharded(seed_engine, snapdir)
+        seed_engine.close()
+    engine = FleetCoordinator(snapdir, max_workers=args.max_workers)
+    print(f"fleet up: {engine.n_shards} worker process(es), "
+          f"{len(engine):,} rows from {snapdir}")
     return engine
 
 

@@ -1,0 +1,755 @@
+"""Process-per-shard serving fleet: the coordinator side.
+
+:class:`FleetCoordinator` presents the exact engine surface
+:class:`~repro.core.sharded.ShardedJanusAQP` gives the serving tier
+(``insert_many`` / ``delete_many`` / ``query_many`` / ``reoptimize``,
+``data_epoch``, the table facade, routing stats), but each shard's
+synopsis lives in its own **worker process**
+(:mod:`repro.service.worker`), reached over the length-prefixed binary
+protocol of :mod:`repro.broker.frames`.  N workers mean N interpreters
+and N GILs, so shard work genuinely overlaps on multi-core hosts -
+the in-process fan-out's thread pool only overlaps the numpy kernels.
+
+The answer contract is **bit-identity** with the in-process sharded
+engine: the coordinator reuses the same placement
+(:class:`~repro.core.placement.PlacementMap`), the same planner
+(:func:`~repro.core.routing.plan_query_subsets`) and the same merge
+(:func:`~repro.core.merge.merge_planned`); workers warm-start from the
+same :func:`~repro.core.persist.save_sharded` snapshot and replay the
+identical per-shard operation sequence, so every per-shard answer -
+and therefore every merged answer - is byte-for-byte what
+``load_sharded(...)`` of the same snapshot would produce
+(``tests/test_fleet.py`` gates this for all seven aggregates through
+interleaved insert/delete/reoptimize).
+
+Crash safety: every mutation is appended to a per-shard **journal
+before it is sent**, and the coordinator's mirrors (local-tid
+counters, live counts, epochs) advance whether or not the worker is
+up - local tids are deterministic, so the mutation's effect is known
+without the worker's reply.  A dead worker therefore never loses a
+mutation: the supervisor respawns it from the pristine snapshot,
+replays the journal (exactly-once - the crashed process's partial
+state is discarded wholesale), re-adopts an exact routing summary and
+only then swaps it live.  Queries that need a dead shard fail with
+:class:`FleetUnavailableError` (a 503 at the HTTP layer, see
+:mod:`repro.service.server`) rather than a wrong or torn answer;
+queries the router proves don't need that shard keep being answered.
+
+Locking: per-shard ``_shard_locks[s]`` serialize journal-append +
+frame send + worker swap, so the journal order always equals the
+worker-applied order (replay determinism); the coordinator-wide
+``_mirror_lock`` guards the counter mirrors.  The order is always
+shard lock -> mirror lock -> (worker io lock), never the reverse.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..broker.frames import (OP_DELETE, OP_ERR, OP_INSERT, OP_PING,
+                             OP_QUERY, OP_REOPT, OP_SHUTDOWN, OP_STATS,
+                             OP_SUMMARY, decode_result_block,
+                             recv_frame, send_frame, split_reply)
+from ..broker.requests import encode_query
+from ..core.merge import merge_planned
+from ..core.placement import PlacementMap
+from ..core.queries import Query, QueryResult
+from ..core.routing import (RoutingStats, ShardSummary,
+                            plan_query_subsets)
+from ..core.persist import read_sharded_manifest
+
+__all__ = ["FleetCoordinator", "FleetUnavailableError", "RemoteShard"]
+
+
+class FleetUnavailableError(RuntimeError):
+    """A query needs a shard whose worker is down.
+
+    The serving tier maps this to **503 Service Unavailable**: the
+    answer would be wrong without the shard, so the only honest
+    responses are a correct one or an explicit refusal.  The
+    supervisor restarts the worker within one supervision cycle;
+    clients retry.
+    """
+
+
+class _WorkerDied(ConnectionError):
+    """Internal: the worker socket broke mid-request (crash or kill)."""
+
+
+#: Exception types a worker ERR frame may carry back across the wire.
+_EXC_TYPES = {
+    "KeyError": KeyError,
+    "ValueError": ValueError,
+    "RuntimeError": RuntimeError,
+    "NotImplementedError": NotImplementedError,
+}
+
+
+class RemoteShard:
+    """Coordinator-side handle for one worker process.
+
+    Owns the subprocess, the socketpair end and the per-worker wire
+    counters.  ``request`` is the only I/O path: one frame out, one
+    reply in, under the handle's own lock, so concurrent callers
+    (data path vs supervisor ping) never interleave frames.
+    """
+
+    def __init__(self, snapshot: Union[str, Path], shard_id: int,
+                 timeout: float = 120.0) -> None:
+        self.snapshot = Path(snapshot)
+        self.shard_id = int(shard_id)
+        self.timeout = float(timeout)
+        self._io_lock = threading.RLock()
+        self._proc: Optional[subprocess.Popen] = None
+        self._sock: Optional[socket.socket] = None
+        self._down = True  # lock-free-read: one-way until spawn/destroy
+        self.n_requests = 0  # guarded-by: _io_lock
+        self.bytes_sent = 0  # guarded-by: _io_lock
+        self.bytes_received = 0  # guarded-by: _io_lock
+        self.latencies: List[float] = []  # guarded-by: _io_lock
+
+    def spawn(self) -> None:
+        """Start the worker process and hand it its socketpair end."""
+        parent, child = socket.socketpair()
+        env = dict(os.environ)
+        # The worker must resolve the same `repro` package this
+        # coordinator runs, wherever the parent found it.
+        pkg_root = str(Path(__file__).resolve().parents[2])
+        extra = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (pkg_root + os.pathsep + extra
+                             if extra else pkg_root)
+        self._proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.worker",
+             "--fd", str(child.fileno()),
+             "--snapshot", str(self.snapshot),
+             "--shard", str(self.shard_id)],
+            pass_fds=(child.fileno(),), env=env)
+        child.close()
+        parent.settimeout(self.timeout)
+        self._sock = parent
+        self._down = False
+
+    def alive(self) -> bool:
+        """Lock-free liveness: process up and socket not known-broken."""
+        proc = self._proc
+        return (not self._down and proc is not None
+                and proc.poll() is None)
+
+    def request(self, opcode: int, meta: int = 0, bufs: Sequence = ()
+                ) -> Tuple[int, int, memoryview]:
+        """One round trip: returns ``(reply_meta, epoch, body)``.
+
+        Raises :class:`_WorkerDied` on any transport failure (and
+        marks the handle down for the supervisor); re-raises typed
+        application errors the worker shipped in an ERR frame.
+        """
+        with self._io_lock:
+            if self._down or self._sock is None:
+                raise _WorkerDied(f"worker {self.shard_id} is down")
+            start = time.monotonic()
+            try:
+                sent = send_frame(self._sock, opcode, meta, bufs)
+                r_op, r_meta, payload = recv_frame(self._sock)
+            except (OSError, EOFError, ValueError) as exc:
+                self._down = True
+                raise _WorkerDied(
+                    f"worker {self.shard_id} transport failed: "
+                    f"{exc}") from exc
+            self.n_requests += 1
+            self.bytes_sent += sent
+            self.bytes_received += 13 + len(payload)
+            self.latencies.append(time.monotonic() - start)
+            if len(self.latencies) > 1024:
+                del self.latencies[:512]
+        if r_op == OP_ERR:
+            name, _, msg = bytes(payload).decode("utf-8").partition("\n")
+            raise _EXC_TYPES.get(name, RuntimeError)(msg)
+        epoch, body = split_reply(payload)
+        return r_meta, epoch, body
+
+    def counters(self) -> Dict[str, object]:
+        """Wire counters for ``/metrics`` (p50 over recent requests)."""
+        with self._io_lock:
+            lat = sorted(self.latencies)
+            return {
+                "requests": self.n_requests,
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+                "p50_seconds": lat[len(lat) // 2] if lat else 0.0,
+            }
+
+    def destroy(self, graceful: bool = True) -> None:
+        """Tear the worker down (idempotent)."""
+        with self._io_lock:
+            if graceful and not self._down and self._sock is not None:
+                try:
+                    self._sock.settimeout(5.0)
+                    send_frame(self._sock, OP_SHUTDOWN)
+                    recv_frame(self._sock)
+                except (OSError, EOFError, ValueError):
+                    pass
+            self._down = True
+            if self._sock is not None:
+                self._sock.close()
+                self._sock = None
+        if self._proc is not None:
+            try:
+                self._proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                self._proc.kill()
+                self._proc.wait()
+
+
+class _FleetTableView:
+    """Read-only table facade over the fleet (coordinator mirrors)."""
+
+    def __init__(self, owner: "FleetCoordinator") -> None:
+        self._owner = owner
+
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        return self._owner.schema
+
+    def __contains__(self, tid: int) -> bool:
+        return self._owner._placement.live(tid)
+
+    def __len__(self) -> int:
+        return len(self._owner)
+
+
+class FleetCoordinator:
+    """Drop-in multi-process replacement for ``ShardedJanusAQP``.
+
+    Built from a :func:`~repro.core.persist.save_sharded` snapshot
+    directory; one worker process per shard is spawned immediately and
+    warm-starts from it.  See the module docstring for the identity,
+    crash-safety and locking contracts.
+
+    Parameters
+    ----------
+    snapshot_dir:
+        A ``save_sharded`` snapshot; also the pristine state workers
+        restart from after a crash (plus a journal replay).
+    max_workers:
+        Coordinator-side fan-out thread width (default: shard count
+        capped at ``os.cpu_count()``, as for the in-process engine).
+    supervise_interval:
+        Seconds between supervisor health sweeps (ping + restart).
+    request_timeout:
+        Per-round-trip socket timeout; a worker that exceeds it is
+        treated as crashed.
+    supervise:
+        Disableable for tests that drive :meth:`check_workers`
+        manually.
+    """
+
+    def __init__(self, snapshot_dir: Union[str, Path],
+                 max_workers: Optional[int] = None,
+                 supervise_interval: float = 1.0,
+                 request_timeout: float = 120.0,
+                 supervise: bool = True) -> None:
+        manifest = read_sharded_manifest(snapshot_dir)
+        meta = manifest["meta"]
+        self.snapshot_dir = Path(snapshot_dir)
+        self.schema = tuple(meta["schema"])
+        self.agg_attr = meta["agg_attr"]
+        self.predicate_attrs = tuple(meta["predicate_attrs"])
+        self.stat_attrs = tuple(meta["stat_attrs"])
+        self.n_shards = int(meta["n_shards"])
+        self.route_attr = meta.get("route_attr")
+        self._pred_cols = np.array(
+            [self.schema.index(a) for a in self.predicate_attrs],
+            dtype=np.intp)
+        route_col = (self.schema.index(self.route_attr)
+                     if self.route_attr else 0)
+        self._placement = PlacementMap(
+            self.n_shards, meta["sharding"],
+            range_block=int(meta["range_block"]), route_col=route_col,
+            attr_bounds=manifest["attr_bounds"])
+        self._placement.restore(manifest["shard_of"],
+                                manifest["local_tid"],
+                                int(meta["next_tid"]))
+        #: Coordinator-owned routing summaries (planner reads them
+        #: lock-free exactly as the in-process engine's planner does).
+        self.summaries: List[ShardSummary] = list(manifest["summaries"])
+        self._routing_stats = RoutingStats(self.n_shards)
+        self.route_queries = True
+
+        self._mirror_lock = threading.RLock()
+        self._epochs = [0] * self.n_shards  # guarded-by: _mirror_lock
+        self._next_local = [int(t) for t in meta["table_next_tids"]]  # guarded-by: _mirror_lock
+        self._n_live = [int(v) for v in manifest["table_sizes"]]  # guarded-by: _mirror_lock
+        self._initialized = [bool(b) for b in meta["initialized"]]  # guarded-by: _mirror_lock
+        self._journals: List[List[tuple]] = [
+            [] for _ in range(self.n_shards)]  # guarded-by: _mirror_lock
+        self._restarts = [0] * self.n_shards  # guarded-by: _mirror_lock
+
+        # Per-shard send serializers: journal append + frame send +
+        # worker swap happen under _shard_locks[s], so journal order
+        # always equals worker-applied order and a restart's replay
+        # excludes nothing.  (Element locks: one instance per shard,
+        # only ever acquired one shard at a time by a fan-out closure.)
+        self._shard_locks = [threading.RLock()
+                             for _ in range(self.n_shards)]
+        self._pool: Optional[ThreadPoolExecutor] = None  # guarded-by: _pool_lock
+        self._pool_lock = threading.Lock()
+        self._max_workers = max_workers or min(self.n_shards,
+                                               os.cpu_count() or 1)
+        self.workers: List[RemoteShard] = [
+            RemoteShard(self.snapshot_dir, s, timeout=request_timeout)
+            for s in range(self.n_shards)]
+        for worker in self.workers:
+            worker.spawn()
+        self.table = _FleetTableView(self)
+        self._stop_event = threading.Event()
+        self._supervise_interval = float(supervise_interval)
+        self._supervisor: Optional[threading.Thread] = None
+        if supervise:
+            self._supervisor = threading.Thread(
+                target=self._supervise, daemon=True,
+                name="janus-fleet-supervisor")
+            self._supervisor.start()
+
+    # ------------------------------------------------------------------ #
+    # fan-out machinery (mirrors ShardedJanusAQP)
+    # ------------------------------------------------------------------ #
+    def _executor(self) -> ThreadPoolExecutor:
+        pool = self._pool  # lock-free-read: double-checked fast path
+        if pool is None:
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self._max_workers,
+                        thread_name_prefix="janus-fleet")
+                pool = self._pool
+        return pool
+
+    def _fan_out(self, fn: Callable[[int], object],
+                 shard_ids: Sequence[int]) -> List[object]:
+        shard_ids = list(shard_ids)
+        if len(shard_ids) <= 1:
+            return [fn(s) for s in shard_ids]
+        pool = self._executor()
+        futures = [pool.submit(fn, s) for s in shard_ids]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------ #
+    # epochs and sizes
+    # ------------------------------------------------------------------ #
+    def bump_epoch(self, shard_id: int) -> None:
+        """Advance shard ``shard_id``'s mirrored epoch.
+
+        Runs at journal time, before the worker is even asked, so the
+        serving tier's result cache invalidates on every mutation even
+        while the owning worker is down; worker-reported epochs later
+        fold in through ``max`` (monotone, restart-proof - a replayed
+        worker restarts its own count from the snapshot).
+        """
+        with self._mirror_lock:
+            self._epochs[shard_id] += 1
+
+    def _note_epoch(self, shard_id: int, worker_epoch: int) -> None:
+        with self._mirror_lock:
+            self._epochs[shard_id] = max(self._epochs[shard_id],
+                                         int(worker_epoch))
+
+    @property
+    def data_epoch(self) -> int:
+        """Monotone fleet-wide data version (cache key), mirrored."""
+        with self._mirror_lock:
+            return sum(self._epochs)
+
+    def __len__(self) -> int:
+        with self._mirror_lock:
+            return sum(self._n_live)
+
+    def shard_sizes(self) -> List[int]:
+        """Live row count per shard (coordinator mirror)."""
+        with self._mirror_lock:
+            return list(self._n_live)
+
+    @property
+    def pool_size(self) -> int:
+        """Total pooled-sample size, summed over reachable workers."""
+        total = 0
+        for s in range(self.n_shards):
+            try:
+                with self._shard_locks[s]:
+                    _m, _e, body = self.workers[s].request(OP_STATS)
+            except _WorkerDied:
+                continue
+            total += int(json.loads(bytes(body).decode())["pool_size"])
+        return total
+
+    def routing_stats(self) -> dict:
+        """Cumulative router counters, as for the in-process engine."""
+        return self._routing_stats.to_dict()
+
+    # ------------------------------------------------------------------ #
+    # mutations
+    # ------------------------------------------------------------------ #
+    def insert(self, values: Sequence[float]) -> int:
+        """Insert one row; returns its global tid."""
+        return self.insert_many(
+            np.asarray(values, dtype=np.float64)[None, :])[0]
+
+    def insert_many(self, rows: np.ndarray) -> List[int]:
+        """Bulk insert: place once, journal, then fan out raw blocks.
+
+        Local tids are mirrored deterministically (each worker's table
+        assigns consecutive tids and never reuses them), so the batch
+        commits even if a worker is mid-crash - its slice is journaled
+        and replayed on restart; a live worker's reply is checked
+        against the mirror and any divergence fails loudly.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.size == 0:
+            return []
+        if rows.ndim != 2:
+            raise ValueError("rows must be a 2-D (n, n_attrs) array")
+        if rows.shape[1] != len(self.schema):
+            raise ValueError(f"rows have {rows.shape[1]} columns, "
+                             f"schema has {len(self.schema)}")
+        tids, placement = self._placement.begin_insert(rows)
+
+        def ingest(s: int) -> Tuple[np.ndarray, np.ndarray]:
+            sel = np.flatnonzero(placement == s)
+            sub = np.ascontiguousarray(rows[sel])
+            with self._shard_locks[s]:
+                with self._mirror_lock:
+                    base = self._next_local[s]
+                    self._next_local[s] += sub.shape[0]
+                    self._n_live[s] += sub.shape[0]
+                    self._initialized[s] = True
+                    self._journals[s].append(("i", sub))
+                self.bump_epoch(s)
+                local = np.arange(base, base + sub.shape[0],
+                                  dtype=np.int64)
+                repartitioned = False
+                try:
+                    flag, epoch, body = self.workers[s].request(
+                        OP_INSERT, sub.shape[1], [sub])
+                    got = np.frombuffer(body, dtype=np.int64)
+                    if not np.array_equal(got, local):
+                        raise RuntimeError(
+                            f"worker {s} local tids diverged from the "
+                            f"coordinator mirror")
+                    self._note_epoch(s, epoch)
+                    repartitioned = bool(flag)
+                except _WorkerDied:
+                    pass  # journaled; the supervisor's replay applies it
+                if repartitioned:
+                    # The batch tripped the shard's auto-repartition:
+                    # adopt its post-rebuild exact summary, as the
+                    # in-process coordinator refreshes in place.
+                    self._fetch_summary(s)
+                else:
+                    self.summaries[s].add(sub[:, self._pred_cols])
+            return sel, local
+
+        touched = np.unique(placement).tolist()
+        results = self._fan_out(ingest, touched)
+        self._placement.commit_insert(
+            tids, placement, dict(zip(touched, results)))
+        return tids.tolist()
+
+    def delete(self, tid: int) -> None:
+        """Delete one live row by global tid."""
+        self.delete_many((tid,))
+
+    def delete_many(self, tids: Sequence[int]) -> None:
+        """Bulk delete by global tid.
+
+        Validation is entirely coordinator-side (the placement map
+        knows liveness), so a dead or duplicated tid raises
+        ``KeyError`` before any worker is touched - the same
+        all-or-nothing contract as the in-process engine.  The worker
+        replies with the dying rows' predicate coordinates so the
+        coordinator can uncount them from its routing summary; while a
+        worker is down the uncount is skipped (summaries err
+        conservative-high) and the post-replay summary re-tightens.
+        """
+        tid_arr = np.asarray(tids if isinstance(tids, np.ndarray)
+                             else [int(t) for t in tids], dtype=np.int64)
+        if tid_arr.size == 0:
+            return
+        owners, locals_ = self._placement.begin_delete(tid_arr)
+
+        def drop(s: int) -> None:
+            local = np.ascontiguousarray(locals_[owners == s])
+            with self._shard_locks[s]:
+                with self._mirror_lock:
+                    self._n_live[s] -= local.shape[0]
+                    self._journals[s].append(("d", local))
+                self.bump_epoch(s)
+                try:
+                    _m, epoch, body = self.workers[s].request(
+                        OP_DELETE, 0, [local])
+                    coords = np.frombuffer(body, dtype="<f8").reshape(
+                        -1, self._pred_cols.shape[0])
+                    self.summaries[s].remove(coords)
+                    self._note_epoch(s, epoch)
+                except _WorkerDied:
+                    pass  # journaled; replay restores, summary refreshes
+
+        self._fan_out(drop, np.unique(owners).tolist())
+
+    def reoptimize(self) -> None:
+        """Staggered re-initialization, one shard at a time.
+
+        Each worker rebuilds in its own process; the coordinator
+        adopts the post-rebuild exact summary (the in-process
+        coordinator's piggybacked refresh, shipped over the wire).
+        """
+        for s in range(self.n_shards):
+            with self._mirror_lock:
+                up = self._initialized[s]
+            if not up:
+                continue
+            with self._shard_locks[s]:
+                with self._mirror_lock:
+                    self._journals[s].append(("r",))
+                self.bump_epoch(s)
+                try:
+                    flag, epoch, body = self.workers[s].request(OP_REOPT)
+                    if flag:
+                        self._adopt_summary(s, body)
+                    self._note_epoch(s, epoch)
+                except _WorkerDied:
+                    pass  # journaled; replay re-optimizes on restart
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(self, query: Query) -> QueryResult:
+        """Answer one query from the fleet."""
+        return self.query_many((query,))[0]
+
+    def query_many(self, queries: Sequence[Query],
+                   route: Optional[bool] = None) -> List[QueryResult]:
+        """Answer a query batch: plan, dispatch sub-batches, merge.
+
+        Identical pipeline to the in-process engine - shared planner,
+        shared merge, same single-shard fast path - except the
+        per-shard sub-batches travel as broker-codec records and the
+        answers come back as raw :data:`~repro.broker.frames.RESULT_DTYPE`
+        blocks.  A query whose contributing subset includes a dead
+        worker raises :class:`FleetUnavailableError`; queries the
+        router proves don't need it still succeed.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        route = self.route_queries if route is None else bool(route)
+        with self._mirror_lock:
+            live = [s for s in range(self.n_shards)
+                    if self._initialized[s]]
+            empties = [n == 0 for n in self._n_live]
+        if not live:
+            raise RuntimeError("synopsis not initialized")
+        subsets = plan_query_subsets(queries, self.predicate_attrs,
+                                     self.summaries, live)
+        self._routing_stats.record([len(c) for c in subsets], len(live),
+                                   route)
+        if route:
+            first = subsets[0]
+            if len(first) == 1 and all(c == first for c in subsets):
+                return self._ask(first[0], queries)
+            by_shard: Dict[int, List[int]] = {s: [] for s in live}
+            for qi, contrib in enumerate(subsets):
+                for s in contrib:
+                    by_shard[s].append(qi)
+            work = [(s, qis) for s, qis in by_shard.items() if qis]
+            batches = self._fan_out(
+                lambda w: self._ask(work[w][0],
+                                    [queries[qi] for qi in work[w][1]]),
+                range(len(work)))
+            answers = {}
+            for (s, qis), batch in zip(work, batches):
+                for pos, qi in enumerate(qis):
+                    answers[(s, qi)] = batch[pos]
+            get = lambda s, qi: answers[(s, qi)]
+        else:
+            per_shard = self._fan_out(
+                lambda s: self._ask(s, queries), live)
+            of_shard = dict(zip(live, per_shard))
+            get = lambda s, qi: of_shard[s][qi]
+        return merge_planned(queries, subsets, get,
+                             lambda s: empties[s])
+
+    def _ask(self, s: int, queries: Sequence[Query]
+             ) -> List[QueryResult]:
+        """One shard answers one sub-batch (broker codec over frames)."""
+        payload = "\n".join(encode_query(qi, q)
+                            for qi, q in enumerate(queries)).encode()
+        with self._shard_locks[s]:
+            try:
+                n, epoch, body = self.workers[s].request(
+                    OP_QUERY, 0, [payload])
+            except _WorkerDied as exc:
+                raise FleetUnavailableError(
+                    f"shard {s} worker is down; the fleet restarts it "
+                    f"within one supervision cycle - retry") from exc
+        self._note_epoch(s, epoch)
+        results = decode_result_block(body)
+        if len(results) != len(queries):
+            raise RuntimeError(
+                f"worker {s} answered {len(results)} of "
+                f"{len(queries)} queries")
+        return results
+
+    # ------------------------------------------------------------------ #
+    # supervision and recovery
+    # ------------------------------------------------------------------ #
+    def _supervise(self) -> None:
+        while not self._stop_event.wait(self._supervise_interval):
+            self.check_workers()
+
+    def check_workers(self) -> int:
+        """One supervision sweep: ping, then restart the dead.
+
+        Returns how many workers were restarted.  Public so tests and
+        single-threaded embeddings can drive recovery deterministically
+        (construct with ``supervise=False``).
+        """
+        restarted = 0
+        for s in range(self.n_shards):
+            worker = self.workers[s]
+            if worker.alive():
+                try:
+                    worker.request(OP_PING)
+                except _WorkerDied:
+                    pass
+            if not self.workers[s].alive() and self._restart(s):
+                restarted += 1
+        return restarted
+
+    def _restart(self, s: int) -> bool:
+        """Respawn shard ``s`` from the snapshot and replay its journal.
+
+        Holds the shard lock throughout: mutations queue behind the
+        replay (and keep journaling), so when the fresh worker is
+        swapped live it has applied *exactly* the journal - nothing
+        lost, nothing twice.
+        """
+        with self._shard_locks[s]:
+            if self._stop_event.is_set():
+                return False
+            self.workers[s].destroy(graceful=False)
+            fresh = RemoteShard(self.snapshot_dir, s,
+                                timeout=self.workers[s].timeout)
+            try:
+                fresh.spawn()
+                self._replay(fresh, s)
+            except (_WorkerDied, OSError):
+                fresh.destroy(graceful=False)
+                return False  # still down; next sweep tries again
+            self.workers[s] = fresh
+            with self._mirror_lock:
+                self._restarts[s] += 1
+        return True
+
+    def _replay(self, fresh: RemoteShard, s: int) -> None:
+        """Apply shard ``s``'s journal to a pristine warm start."""
+        with self._mirror_lock:
+            entries = list(self._journals[s])
+        for entry in entries:
+            if entry[0] == "i":
+                sub = entry[1]
+                flag, epoch, body = fresh.request(
+                    OP_INSERT, sub.shape[1], [sub])
+            elif entry[0] == "d":
+                fresh.request(OP_DELETE, 0, [entry[1]])
+            else:
+                fresh.request(OP_REOPT)
+        # Post-replay exact summary + epoch resync: the mirror kept
+        # counting while the worker was down, so only adopt forward.
+        _m, epoch, body = fresh.request(OP_SUMMARY)
+        self._adopt_summary(s, body)
+        self._note_epoch(s, epoch)
+
+    def _fetch_summary(self, s: int) -> None:
+        try:
+            with self._shard_locks[s]:
+                _m, epoch, body = self.workers[s].request(OP_SUMMARY)
+        except _WorkerDied:
+            return  # replay's post-restart summary will cover it
+        self._adopt_summary(s, body)
+        self._note_epoch(s, epoch)
+
+    def _adopt_summary(self, s: int, body) -> None:
+        with np.load(io.BytesIO(bytes(body)),
+                     allow_pickle=False) as archive:
+            arrays = {key: archive[key]
+                      for key in ("meta", "lo", "hi", "edges", "counts")}
+        self.summaries[s] = ShardSummary.from_state_arrays(arrays)
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def fleet_health(self) -> Dict[str, object]:
+        """``/health`` payload: ok when every worker is up."""
+        with self._mirror_lock:
+            restarts = list(self._restarts)
+        workers = {}
+        n_alive = 0
+        for s in range(self.n_shards):
+            up = self.workers[s].alive()
+            n_alive += int(up)
+            workers[str(s)] = {"alive": bool(up),
+                               "restarts": restarts[s]}
+        return {
+            "status": "ok" if n_alive == self.n_shards else "degraded",
+            "mode": "fleet",
+            "n_workers": self.n_shards,
+            "n_alive": n_alive,
+            "workers": workers,
+        }
+
+    def fleet_stats(self) -> Dict[str, object]:
+        """Per-worker wire counters for ``/stats`` and ``/metrics``."""
+        with self._mirror_lock:
+            restarts = list(self._restarts)
+        workers = {}
+        for s in range(self.n_shards):
+            counters = self.workers[s].counters()
+            counters["restarts"] = restarts[s]
+            counters["alive"] = self.workers[s].alive()
+            workers[str(s)] = counters
+        return {"n_workers": self.n_shards, "workers": workers}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop supervision, drain the workers, shut the pool down."""
+        self._stop_event.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=2 * self._supervise_interval
+                                  + 5.0)
+            self._supervisor = None
+        for s in range(self.n_shards):
+            with self._shard_locks[s]:
+                self.workers[s].destroy()
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "FleetCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

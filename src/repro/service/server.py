@@ -50,6 +50,7 @@ from ..broker.requests import query_from_dict, result_to_dict
 from ..core.queries import AggFunc, Query, QueryResult
 from .batcher import MicroBatcher
 from .cache import ResultCache
+from .fleet import FleetUnavailableError
 from .sqlfront import SQLError, compile_sql
 
 __all__ = ["AQPServer", "ServiceHandle", "serve_background"]
@@ -69,7 +70,8 @@ class _HTTPError(Exception):
 _STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
                 405: "Method Not Allowed", 413: "Payload Too Large",
                 431: "Request Header Fields Too Large",
-                500: "Internal Server Error"}
+                500: "Internal Server Error",
+                503: "Service Unavailable"}
 
 
 class AQPServer:
@@ -301,7 +303,13 @@ class AQPServer:
         return payload
 
     async def _handle_health(self, _payload) -> dict:
-        return {"status": "ok"}
+        fleet_health = getattr(self.engine, "fleet_health", None)
+        if fleet_health is None:
+            return {"status": "ok"}
+        # Fleet engines report per-worker liveness; a fleet with a
+        # dead worker still serves routable queries but is "degraded"
+        # until the supervisor's restart lands.
+        return fleet_health()
 
     async def _handle_query(self, payload: dict) -> dict:
         if "queries" in payload:
@@ -414,6 +422,9 @@ class AQPServer:
             stats["engine"]["shard_sizes"] = engine.shard_sizes()
         if hasattr(engine, "routing_stats"):
             stats["engine"]["routing"] = engine.routing_stats()
+        fleet_stats = getattr(engine, "fleet_stats", None)
+        if fleet_stats is not None:
+            stats["engine"]["fleet"] = fleet_stats()
         return stats
 
     async def _handle_metrics(self, _payload) -> dict:
@@ -462,6 +473,35 @@ class AQPServer:
             for k, count in enumerate(r["shards_touched_hist"]):
                 lines.append(f'janus_service_shards_touched_total'
                              f'{{shards="{k}"}} {count}')
+        fleet_stats = getattr(self.engine, "fleet_stats", None)
+        if fleet_stats is not None:
+            f = fleet_stats()
+            n_alive = sum(1 for w in f["workers"].values() if w["alive"])
+            lines += [
+                "# TYPE janus_service_workers gauge",
+                f"janus_service_workers {f['n_workers']}",
+                "# TYPE janus_service_workers_alive gauge",
+                f"janus_service_workers_alive {n_alive}",
+                "# TYPE janus_service_worker_requests_total counter",
+                "# TYPE janus_service_worker_bytes_sent_total counter",
+                "# TYPE janus_service_worker_bytes_received_total "
+                "counter",
+                "# TYPE janus_service_worker_restarts_total counter",
+                "# TYPE janus_service_worker_p50_seconds gauge",
+            ]
+            for wid, w in sorted(f["workers"].items()):
+                lines += [
+                    f'janus_service_worker_requests_total'
+                    f'{{worker="{wid}"}} {w["requests"]}',
+                    f'janus_service_worker_bytes_sent_total'
+                    f'{{worker="{wid}"}} {w["bytes_sent"]}',
+                    f'janus_service_worker_bytes_received_total'
+                    f'{{worker="{wid}"}} {w["bytes_received"]}',
+                    f'janus_service_worker_restarts_total'
+                    f'{{worker="{wid}"}} {w["restarts"]}',
+                    f'janus_service_worker_p50_seconds'
+                    f'{{worker="{wid}"}} {w["p50_seconds"]:.6f}',
+                ]
         for route, count in sorted(self.request_counts.items()):
             lines.append(f'janus_service_requests_total'
                          f'{{route="{route}"}} {count}')
@@ -506,6 +546,13 @@ class AQPServer:
                 except _HTTPError as exc:
                     payload = {"error": str(exc)}
                     status = exc.status
+                    self.n_bad_requests += 1
+                except FleetUnavailableError as exc:
+                    # A fleet worker is down and the query needs its
+                    # shard: refuse explicitly rather than answer
+                    # wrong; the fleet self-heals, clients retry.
+                    payload = {"error": str(exc), "retryable": True}
+                    status = 503
                     self.n_bad_requests += 1
                 except Exception as exc:    # engine-side failure
                     payload = {"error": f"{type(exc).__name__}: {exc}"}

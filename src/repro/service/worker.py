@@ -1,0 +1,241 @@
+"""Fleet worker: one process, one JanusAQP shard, one binary socket.
+
+Spawned by the fleet coordinator (:mod:`repro.service.fleet`) as::
+
+    python -m repro.service.worker --fd N --snapshot DIR --shard S
+
+where ``N`` is an inherited socketpair end and ``DIR`` a
+:func:`~repro.core.persist.save_sharded` snapshot the worker
+warm-starts shard ``S`` from (:func:`~repro.core.persist.load_shard`).
+The process then runs a single-threaded frame loop over the protocol
+of :mod:`repro.broker.frames`: the coordinator owns placement, routing
+summaries and merging; the worker owns exactly one synopsis and its
+archival table, so the numpy hot paths of N workers run on N
+interpreters with N GILs.
+
+Determinism is the contract: the worker applies the identical
+operation sequence the in-process ``ShardedJanusAQP`` shard would see
+(same warm-start state, same lazy-initialize + stagger on first
+insert, same RNG stream from the snapshot's per-shard seed), so its
+answers are bit-identical to that shard's - the fleet's answer-identity
+gate rests on it.  Every reply carries the shard's ``data_epoch`` so
+the coordinator's cache mirror tracks mutations without extra round
+trips.
+
+The loop is intentionally single-threaded: the coordinator serializes
+frames per worker, so there is nothing to lock here, and a crash of
+any kind simply ends the process - the coordinator's supervisor
+detects the broken socket and respawns from the snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import socket
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..broker.frames import (OP_DELETE, OP_ERR, OP_INSERT, OP_OK,
+                             OP_PING, OP_QUERY, OP_REOPT, OP_SHUTDOWN,
+                             OP_STATS, OP_SUMMARY, encode_result_block,
+                             pack_reply, recv_frame, send_frame)
+from ..broker.requests import decode
+from ..core.janus import JanusAQP
+from ..core.persist import _MANIFEST, load_shard
+from ..core.placement import stagger_trigger
+from ..core.routing import ShardSummary
+
+__all__ = ["ShardWorker", "main"]
+
+
+class ShardWorker:
+    """The worker-side frame loop around one warm-started shard."""
+
+    def __init__(self, sock: socket.socket, shard: JanusAQP,
+                 shard_id: int, n_shards: int, n_bins: int) -> None:
+        self.sock = sock
+        self.shard = shard
+        self.shard_id = int(shard_id)
+        self.n_shards = int(n_shards)
+        self.n_bins = int(n_bins)
+        schema = shard.table.schema
+        self.pred_cols = np.array(
+            [schema.index(a) for a in shard.predicate_attrs],
+            dtype=np.intp)
+        self.n_requests = 0
+
+    # ------------------------------------------------------------------ #
+    # frame loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> None:
+        """Serve frames until SHUTDOWN or the coordinator goes away."""
+        while True:
+            try:
+                opcode, meta, payload = recv_frame(self.sock)
+            except (EOFError, OSError):
+                return              # coordinator closed the pair: exit
+            self.n_requests += 1
+            if opcode == OP_SHUTDOWN:
+                self._reply_ok()
+                return
+            try:
+                self._dispatch(opcode, meta, payload)
+            except Exception as exc:
+                # Application errors (off-template query, dead local
+                # tid) go back as typed ERR frames for the coordinator
+                # to re-raise; the loop itself stays up.
+                send_frame(self.sock, OP_ERR, 0,
+                           [f"{type(exc).__name__}\n{exc}".encode()])
+
+    def _dispatch(self, opcode: int, meta: int, payload) -> None:
+        if opcode == OP_PING:
+            self._reply_ok()
+        elif opcode == OP_INSERT:
+            self._handle_insert(meta, payload)
+        elif opcode == OP_DELETE:
+            self._handle_delete(payload)
+        elif opcode == OP_QUERY:
+            self._handle_query(payload)
+        elif opcode == OP_REOPT:
+            self._handle_reopt()
+        elif opcode == OP_SUMMARY:
+            send_frame(self.sock, OP_OK, 1,
+                       pack_reply(self.shard.data_epoch,
+                                  [self._summary_npz()]))
+        elif opcode == OP_STATS:
+            self._handle_stats()
+        else:
+            raise ValueError(f"unknown opcode {opcode}")
+
+    def _reply_ok(self) -> None:
+        send_frame(self.sock, OP_OK, 0,
+                   pack_reply(self.shard.data_epoch))
+
+    # ------------------------------------------------------------------ #
+    # mutations
+    # ------------------------------------------------------------------ #
+    def _handle_insert(self, n_cols: int, payload) -> None:
+        """Raw f64 row block in, local tids + repartition flag out.
+
+        Replays the in-process coordinator's ingest closure exactly:
+        insert, lazy first build with the staggered trigger offset,
+        and a flag telling the coordinator whether the batch tripped a
+        repartition (its summary upkeep branches on it).
+        """
+        rows = np.frombuffer(payload, dtype="<f8").reshape(-1, n_cols)
+        reparts = self.shard.n_repartitions
+        local = self.shard.insert_many(rows)
+        if self.shard.dpt is None:
+            self.shard.initialize()
+            stagger_trigger(self.shard, self.shard_id, self.n_shards)
+        flag = int(self.shard.n_repartitions != reparts)
+        send_frame(self.sock, OP_OK, flag,
+                   pack_reply(self.shard.data_epoch,
+                              [np.asarray(local, dtype=np.int64)]))
+
+    def _handle_delete(self, payload) -> None:
+        """Raw i64 local tids in, the dying rows' predicate coords out.
+
+        The coordinator maintains this shard's routing summary; it
+        needs the predicate coordinates of the deleted rows to uncount
+        them, and only this process still has the rows.  They are
+        captured *before* the delete - afterwards the slots are dead.
+        """
+        local = np.frombuffer(payload, dtype="<i8")
+        coords = np.ascontiguousarray(
+            self.shard.table.rows_for(local)[:, self.pred_cols])
+        self.shard.delete_many(local)
+        send_frame(self.sock, OP_OK, 0,
+                   pack_reply(self.shard.data_epoch, [coords]))
+
+    def _handle_reopt(self) -> None:
+        """Re-optimize and ship the post-rebuild exact summary."""
+        if self.shard.dpt is None:
+            send_frame(self.sock, OP_OK, 0,
+                       pack_reply(self.shard.data_epoch))
+            return
+        self.shard.reoptimize()
+        send_frame(self.sock, OP_OK, 1,
+                   pack_reply(self.shard.data_epoch,
+                              [self._summary_npz()]))
+
+    # ------------------------------------------------------------------ #
+    # queries and introspection
+    # ------------------------------------------------------------------ #
+    def _handle_query(self, payload) -> None:
+        """Broker-codec query records in, a RESULT_DTYPE block out."""
+        records = bytes(payload).decode("utf-8").split("\n")
+        queries = [decode(r).query for r in records]
+        results = self.shard.query_many(queries)
+        send_frame(self.sock, OP_OK, len(results),
+                   pack_reply(self.shard.data_epoch,
+                              [encode_result_block(results)]))
+
+    def _summary_npz(self) -> bytes:
+        """A fresh exact routing summary, as npz bytes.
+
+        :meth:`~repro.core.routing.ShardSummary.refresh` fully
+        re-derives every field from the live rows, so this stateless
+        rebuild is identical to the in-place refresh the in-process
+        coordinator performs.
+        """
+        summary = ShardSummary(len(self.pred_cols), self.n_bins)
+        summary.refresh(
+            self.shard.table.live_rows()[:, self.pred_cols])
+        buf = io.BytesIO()
+        np.savez(buf, **summary.state_arrays())
+        return buf.getvalue()
+
+    def _handle_stats(self) -> None:
+        stats = {
+            "shard_id": self.shard_id,
+            "n_live": len(self.shard.table),
+            "pool_size": self.shard.pool_size,
+            "n_repartitions": self.shard.n_repartitions,
+            "data_epoch": self.shard.data_epoch,
+            "n_requests": self.n_requests,
+        }
+        send_frame(self.sock, OP_OK, 0,
+                   pack_reply(self.shard.data_epoch,
+                              [json.dumps(stats).encode()]))
+
+
+def serve(fd: int, snapshot: str, shard_id: int) -> None:
+    """Warm-start shard ``shard_id`` and serve frames on ``fd``."""
+    with np.load(Path(snapshot) / _MANIFEST,
+                 allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        n_bins = int(archive[f"summary{shard_id}_meta"][1])
+    shard = load_shard(snapshot, shard_id)
+    sock = socket.socket(fileno=fd)
+    try:
+        ShardWorker(sock, shard, shard_id,
+                    int(meta["n_shards"]), n_bins).run()
+    finally:
+        sock.close()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.worker",
+        description="fleet worker: serve one warm-started shard over "
+                    "an inherited socket (internal; spawned by the "
+                    "fleet coordinator)")
+    parser.add_argument("--fd", type=int, required=True,
+                        help="inherited socketpair file descriptor")
+    parser.add_argument("--snapshot", required=True,
+                        help="save_sharded snapshot directory")
+    parser.add_argument("--shard", type=int, required=True,
+                        help="shard index this worker owns")
+    args = parser.parse_args(argv)
+    serve(args.fd, args.snapshot, args.shard)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

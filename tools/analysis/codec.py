@@ -47,6 +47,10 @@ CODECS = [
      "broker/requests.py", "encode_result", "attr-refs:result"),
     ("broker/requests.py", "QueryResponse",
      "broker/requests.py", "decode_result", "ctor-kwargs"),
+    ("core/queries.py", "QueryResult",
+     "broker/frames.py", "encode_result_block", "attr-refs:result"),
+    ("core/queries.py", "QueryResult",
+     "broker/frames.py", "decode_result_block", "ctor-kwargs"),
 ]
 
 #: (save module, save function, load module, load function) pairs whose
