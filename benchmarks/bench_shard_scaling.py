@@ -65,7 +65,7 @@ import numpy as np
 
 from conftest import emit, emit_json
 from repro.core.janus import JanusAQP, JanusConfig
-from repro.core.queries import AggFunc, Query, Rectangle
+from repro.core.queries import AggFunc, Query, Rectangle, SKETCH_AGGS
 from repro.core.sharded import ShardedJanusAQP
 from repro.core.table import Table
 from repro.datasets import synthetic
@@ -95,7 +95,9 @@ MAX_MEAN_SHARDS_TOUCHED = 2.0  # range workload, 4 shards, full mode
 # broadcast/ingest series keeps the original unbounded workload.
 RANGE_WIDTH_FRAC = (0.01, 0.25)
 
-ALL_AGGS = list(AggFunc)
+# Range-predicated workload: sketch aggregates (whole-column only)
+# are excluded; bench_sketch_accuracy covers them.
+ALL_AGGS = [a for a in AggFunc if a not in SKETCH_AGGS]
 
 
 def config(k: int) -> JanusConfig:

@@ -17,7 +17,8 @@ Run:  PYTHONPATH=src python examples/routed_sharding.py
 
 import numpy as np
 
-from repro import AggFunc, JanusConfig, Query, Rectangle, ShardedJanusAQP
+from repro import (AggFunc, JanusConfig, Query, Rectangle, SKETCH_AGGS,
+                   ShardedJanusAQP)
 from repro.datasets import intel_wireless
 
 
@@ -41,7 +42,9 @@ def main(n: int = 40_000) -> None:
     # single shard's stripe.
     rng = np.random.default_rng(7)
     t_lo, t_hi = ds.data[:, 0].min(), ds.data[:, 0].max()
-    aggs = list(AggFunc)
+    # Sketch aggregates are whole-column (no predicate window) and so
+    # can't ride this range workload; see the README sketch quickstart.
+    aggs = [a for a in AggFunc if a not in SKETCH_AGGS]
     queries = []
     for i in range(70):
         a = rng.uniform(t_lo, t_hi - 2.0)

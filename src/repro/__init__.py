@@ -9,6 +9,7 @@ objects with confidence intervals.  See ``examples/quickstart.py``.
 from .core import (AggFunc, CatchupReport, CatchupRunner, DPTNode,
                    DynamicPartitionTree, HeuristicRouter, JanusAQP,
                    JanusConfig, Query, QueryResult, Rectangle, ReoptReport,
+                   SKETCH_AGGS,
                    RepartitionTrigger, ShardedJanusAQP, StaticPartitionTree,
                    SynopsisManager, Table, TriggerConfig, build_spt,
                    relative_error, table_from_array)
@@ -20,7 +21,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AggFunc", "CatchupReport", "CatchupRunner", "DPTNode",
     "DynamicPartitionTree", "HeuristicRouter", "JanusAQP", "JanusConfig",
-    "Query", "QueryResult", "Rectangle", "ReoptReport",
+    "Query", "QueryResult", "Rectangle", "ReoptReport", "SKETCH_AGGS",
     "RepartitionTrigger", "ShardedJanusAQP", "StaticPartitionTree",
     "SynopsisManager",
     "Table", "TriggerConfig", "build_spt", "relative_error",

@@ -36,19 +36,23 @@ from __future__ import annotations
 
 import socket
 import struct
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 from ..core.merge import MOMENTS_KEY, N_Q_KEY
 from ..core.queries import QueryResult
+from ..sketch.registry import SKETCH_KEY
 
 __all__ = [
     "HEADER", "MAX_PAYLOAD", "OP_DELETE", "OP_ERR", "OP_INSERT",
     "OP_OK", "OP_PING", "OP_QUERY", "OP_REOPT", "OP_SHUTDOWN",
-    "OP_STATS", "OP_SUMMARY", "RESULT_DTYPE", "decode_result_block",
-    "encode_result_block", "pack_reply", "recv_frame", "send_frame",
-    "split_reply",
+    "OP_STATS", "OP_SUMMARY", "RESULT_DTYPE", "SketchFrame",
+    "attach_sketch_frames", "decode_result_block",
+    "decode_sketch_block", "encode_result_block",
+    "encode_sketch_block", "extract_sketch_frames", "pack_reply",
+    "recv_frame", "send_frame", "split_reply",
 ]
 
 #: ``opcode:u8 | meta:u32 | payload_len:u64``, packed little-endian.
@@ -182,7 +186,13 @@ def encode_result_block(results: Sequence[QueryResult]) -> np.ndarray:
 
 
 def decode_result_block(payload) -> List[QueryResult]:
-    """Unpack a :data:`RESULT_DTYPE` block back into answer objects."""
+    """Unpack a :data:`RESULT_DTYPE` block back into answer objects.
+
+    ``payload`` must hold exactly the fixed-size block: an OP_QUERY
+    reply carrying a sketch sidecar is sliced by the caller at
+    ``n * RESULT_DTYPE.itemsize`` first (see
+    :func:`decode_sketch_block`).
+    """
     block = np.frombuffer(payload, dtype=RESULT_DTYPE)
     out: List[QueryResult] = []
     for rec in block:
@@ -203,3 +213,68 @@ def decode_result_block(payload) -> List[QueryResult]:
                                            float(rec["m_sumsq"]))
         out.append(result)
     return out
+
+
+# ---------------------------------------------------------------------- #
+# sketch sidecar codec
+# ---------------------------------------------------------------------- #
+#: ``index:u32 | blob_len:u32`` per sidecar entry, little-endian.
+_SKETCH_FRAME_HEADER = struct.Struct("<II")
+
+
+@dataclass(frozen=True)
+class SketchFrame:
+    """One variable-length sketch blob riding beside a result block.
+
+    The fixed :data:`RESULT_DTYPE` records cannot carry the canonical
+    sketch blobs (they are variable length), so an OP_QUERY reply
+    appends a sidecar after the fixed block: one frame per result that
+    answered a sketch aggregate.  ``index`` is the result's position in
+    the block; ``blob`` is the canonical bytes the coordinator feeds to
+    :func:`~repro.core.merge.merge_sketch` - byte-identical to what the
+    in-process engine would have put in ``details["sketch"]``.
+    """
+
+    index: int
+    blob: bytes
+
+
+def encode_sketch_block(frames: Sequence[SketchFrame]) -> bytes:
+    """Pack sidecar frames: ``index:u32 | blob_len:u32 | blob`` each."""
+    parts: List[bytes] = []
+    for frame in frames:
+        parts.append(_SKETCH_FRAME_HEADER.pack(frame.index,
+                                               len(frame.blob)))
+        parts.append(frame.blob)
+    return b"".join(parts)
+
+
+def decode_sketch_block(payload) -> List[SketchFrame]:
+    """Unpack a sketch sidecar back into frames."""
+    buf = bytes(payload)
+    frames: List[SketchFrame] = []
+    offset = 0
+    while offset < len(buf):
+        index, blob_len = _SKETCH_FRAME_HEADER.unpack_from(buf, offset)
+        offset += _SKETCH_FRAME_HEADER.size
+        if offset + blob_len > len(buf):
+            raise ValueError("truncated sketch sidecar frame")
+        frames.append(SketchFrame(index=int(index),
+                                  blob=buf[offset:offset + blob_len]))
+        offset += blob_len
+    return frames
+
+
+def extract_sketch_frames(results: Sequence[QueryResult]
+                          ) -> List[SketchFrame]:
+    """Sidecar frames for every result carrying a sketch blob."""
+    return [SketchFrame(i, result.details[SKETCH_KEY])
+            for i, result in enumerate(results)
+            if SKETCH_KEY in result.details]
+
+
+def attach_sketch_frames(results: Sequence[QueryResult],
+                         frames: Sequence[SketchFrame]) -> None:
+    """Re-attach decoded sidecar blobs onto their results (in place)."""
+    for frame in frames:
+        results[frame.index].details[SKETCH_KEY] = frame.blob

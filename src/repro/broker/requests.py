@@ -98,13 +98,21 @@ def encode_delete(key: int) -> str:
 
 
 def encode_query(query_id: int, query: Query) -> str:
-    """Serialize one execute request (aggregate + rectangle)."""
+    """Serialize one execute request (aggregate + rectangle).
+
+    The trailing field carries the parameterized aggregates' argument
+    (:attr:`~repro.core.queries.Query.param`); it is omitted when
+    ``None`` so parameterless records keep their historical 7-field
+    shape and old decoders keep working.
+    """
     parts = [
         "Q", str(query_id), query.agg.value, query.attr,
         _NUM_SEP.join(query.predicate_attrs),
         _NUM_SEP.join(repr(float(x)) for x in query.rect.lo),
         _NUM_SEP.join(repr(float(x)) for x in query.rect.hi),
     ]
+    if query.param is not None:
+        parts.append(repr(float(query.param)))
     return _FIELD_SEP.join(parts)
 
 
@@ -157,6 +165,7 @@ def query_to_dict(query: Query) -> dict:
         "predicate_attrs": list(query.predicate_attrs),
         "lo": [float(x) for x in query.rect.lo],
         "hi": [float(x) for x in query.rect.hi],
+        "param": None if query.param is None else float(query.param),
     }
 
 
@@ -168,9 +177,11 @@ def query_from_dict(payload: dict) -> Query:
         pred_attrs = tuple(str(a) for a in payload["predicate_attrs"])
         lo = tuple(float(x) for x in payload["lo"])
         hi = tuple(float(x) for x in payload["hi"])
+        raw_param = payload.get("param")
+        param = None if raw_param is None else float(raw_param)
     except (KeyError, TypeError) as exc:
         raise ValueError(f"malformed query payload: {exc}") from exc
-    return Query(agg, attr, pred_attrs, Rectangle(lo, hi))
+    return Query(agg, attr, pred_attrs, Rectangle(lo, hi), param)
 
 
 def result_to_dict(result) -> dict:
@@ -225,6 +236,7 @@ def decode(record: str) -> Request:
         pred_attrs = tuple(parts[4].split(_NUM_SEP))
         lo = tuple(float(tok) for tok in parts[5].split(_NUM_SEP))
         hi = tuple(float(tok) for tok in parts[6].split(_NUM_SEP))
-        query = Query(agg, attr, pred_attrs, Rectangle(lo, hi))
+        param = float(parts[7]) if len(parts) > 7 else None
+        query = Query(agg, attr, pred_attrs, Rectangle(lo, hi), param)
         return QueryRequest(query_id, query)
     raise ValueError(f"unknown request kind {kind!r}")

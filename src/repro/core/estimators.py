@@ -163,4 +163,11 @@ def uniform_estimate(agg: str, n_total: float, m: int,
         var = max(0.0, float(matched_values.var()))
         est = var if agg == "VARIANCE" else math.sqrt(var)
         return PartialContribution(est, 0.0, n_matched)
+    if agg in ("PERCENTILE", "COUNT_DISTINCT", "TOPK"):
+        # Sketch aggregates are answered from per-engine sketch state
+        # (repro.sketch), never from uniform leaf samples - a quantile
+        # or distinct count reconstructed from a subsample has no
+        # honest error story under this estimator's contract.
+        raise ValueError(f"sketch aggregate {agg} is answered from "
+                         f"sketch state, not uniform samples")
     raise ValueError(f"unknown aggregate {agg}")

@@ -49,10 +49,13 @@ from ..partitioning.onedim import OneDimPartitioner
 from ..partitioning.spec import PartitionNode
 from ..sampling.reservoir import DynamicReservoir
 from ..sampling.stratified import StrataView
+from ..sketch.counted import CountedSketch
+from ..sketch.registry import (new_sketch, sketch_answer,
+                               sketch_from_bytes, sketch_kind_for)
 from .catchup import CatchupReport, CatchupRunner, seed_from_reservoir
 from .dpt import DynamicPartitionTree
 from .node import DPTNode
-from .queries import AggFunc, Query, QueryResult, Rectangle
+from .queries import AggFunc, Query, QueryResult, Rectangle, SKETCH_AGGS
 from .table import Table
 from .triggers import RepartitionTrigger, TriggerAction, TriggerConfig
 
@@ -82,6 +85,18 @@ class JanusConfig:
     minmax_k: int = 32
     seed: int = 0
     min_pool: int = 128
+    #: Columns maintained as sketch state (:mod:`repro.sketch`): each
+    #: named attribute gets one quantile, one distinct and one heavy-
+    #: hitter sketch per engine, kept in lockstep with the live rows.
+    sketch_attrs: Tuple[str, ...] = ()
+    sketch_height: int = 4       # quantile sample level (2^-h of values)
+    hll_bits: int = 11           # HLL registers = 2^bits
+    topk_capacity: int = 64      # heavy-hitter exact-answer threshold
+
+    def __post_init__(self) -> None:
+        # JSON snapshots round-trip tuples as lists; normalize so a
+        # restored config compares equal to the one that was saved.
+        self.sketch_attrs = tuple(self.sketch_attrs)
 
     @classmethod
     def from_memory_budget(cls, memory_bytes: int, n_rows: int,
@@ -305,6 +320,25 @@ class JanusAQP:
         self._pred_idx = [table.col_index(a) for a in self.predicate_attrs]
         self._agg_idx = table.col_index(agg_attr)
         self._lock = threading.RLock()
+
+        # Per-attribute sketch bank (repro.sketch): one sketch per kind,
+        # seeded from whatever rows the table already holds and then
+        # maintained in lockstep with every insert/delete below, so
+        # sketch state is always canonical in the live multiset.
+        self._sketches: Dict[str, Dict[int, CountedSketch]] = {}  # guarded-by: _lock
+        for attr in self.config.sketch_attrs:
+            if attr not in table.schema:
+                raise ValueError(f"sketch attr {attr!r} not in schema")
+            bank = {kind: new_sketch(
+                        kind, sketch_height=self.config.sketch_height,
+                        hll_bits=self.config.hll_bits,
+                        topk_capacity=self.config.topk_capacity)
+                    for kind in sorted({sketch_kind_for(a)
+                                        for a in SKETCH_AGGS})}
+            seed_vals = table.column(attr)
+            for sketch in bank.values():
+                sketch.insert_many(seed_vals)
+            self._sketches[attr] = bank
 
         target = max(self.config.min_pool,
                      int(2 * self.config.sample_rate * max(len(table), 1)))
@@ -596,6 +630,10 @@ class JanusAQP:
             leaf_of = self.dpt.insert_rows(rows) if self.dpt else None
             self.reservoir.on_insert_many(tids)
             self._maybe_grow_pool()
+            for attr, bank in self._sketches.items():
+                vals = rows[:, self.table.col_index(attr)]
+                for sketch in bank.values():
+                    sketch.insert_many(vals)
             self.data_epoch += 1
             if leaf_of is not None:
                 self._after_update_batch(leaf_of)
@@ -632,6 +670,10 @@ class JanusAQP:
             rows = self.table.delete_many(tids)
             leaf_of = self.dpt.delete_rows(rows) if self.dpt else None
             self.reservoir.on_delete_many(tids)
+            for attr, bank in self._sketches.items():
+                vals = rows[:, self.table.col_index(attr)]
+                for sketch in bank.values():
+                    sketch.delete_many(vals)
             self.data_epoch += 1
             if leaf_of is not None:
                 self._after_update_batch(leaf_of)
@@ -691,9 +733,43 @@ class JanusAQP:
         if not queries:
             return []
         with self._lock:
-            if self.dpt is None:
-                raise RuntimeError("synopsis not initialized")
-            return self.dpt.query_many(queries, self._leaf_samples)
+            sketch_at = {qi: self._sketch_answer(q)
+                         for qi, q in enumerate(queries)
+                         if q.agg in SKETCH_AGGS}
+            tree_queries = [q for qi, q in enumerate(queries)
+                            if qi not in sketch_at]
+            tree_results: List[QueryResult] = []
+            if tree_queries:
+                if self.dpt is None:
+                    raise RuntimeError("synopsis not initialized")
+                tree_results = self.dpt.query_many(tree_queries,
+                                                   self._leaf_samples)
+            out: List[QueryResult] = []
+            it = iter(tree_results)
+            for qi in range(len(queries)):
+                out.append(sketch_at[qi] if qi in sketch_at else next(it))
+            return out
+
+    def _sketch_answer(self, query: Query) -> QueryResult:  # requires-lock: _lock
+        """Answer one sketch aggregate from the engine's sketch bank.
+
+        Sketch state covers the *whole* live table (there is one sketch
+        per column, not one per predicate region), so only the
+        unbounded rectangle is answerable; a bounded predicate is a
+        usage error, not an approximation opportunity.
+        """
+        if query.attr not in self._sketches:
+            raise ValueError(
+                f"attribute {query.attr!r} has no sketch state; add it "
+                f"to JanusConfig.sketch_attrs")
+        if any(not (math.isinf(lo) and lo < 0) or not (math.isinf(hi)
+                                                       and hi > 0)
+               for lo, hi in zip(query.rect.lo, query.rect.hi)):
+            raise ValueError(
+                f"{query.agg.value} is answered from table-wide sketch "
+                f"state and requires an unbounded predicate rectangle")
+        kind = sketch_kind_for(query.agg)
+        return sketch_answer(query, self._sketches[query.attr][kind])
 
     def _leaf_samples(self, leaf: DPTNode) -> np.ndarray:
         return self._leaf_cache.matrix(leaf.node_id)
@@ -705,6 +781,33 @@ class JanusAQP:
     def pool_size(self) -> int:
         """Current pooled-sample size (the paper's ``|S|``)."""
         return len(self.reservoir)
+
+    @property
+    def sketch_attrs(self) -> Tuple[str, ...]:
+        """Attributes with maintained sketch state."""
+        return self.config.sketch_attrs
+
+    def sketch_blobs(self) -> Dict[str, List[bytes]]:
+        """Canonical blobs of every maintained sketch (for snapshots)."""
+        with self._lock:
+            return {attr: [bank[kind].to_bytes()
+                           for kind in sorted(bank)]
+                    for attr, bank in self._sketches.items()}
+
+    def restore_sketch_blobs(self, blobs: Dict[str, List[bytes]]) -> None:
+        """Replace sketch state from snapshot blobs (persist restore).
+
+        Only attributes already configured in ``sketch_attrs`` are
+        restored; the blob's own kind byte routes it to the right slot.
+        """
+        with self._lock:
+            for attr, blob_list in blobs.items():
+                bank = self._sketches.get(attr)
+                if bank is None:
+                    continue
+                for blob in blob_list:
+                    sketch = sketch_from_bytes(blob)
+                    bank[sketch.KIND] = sketch
 
     def storage_cost_bytes(self) -> int:
         """Approximate synopsis footprint: samples + node statistics."""

@@ -24,6 +24,11 @@ add, which gives closed-form combination rules per aggregate:
   coordinator adds them and re-derives ``E[a^2] - E[a]^2``
   (:func:`merge_moments`), again identical in form to the single-tree
   composition of Section 6.6.
+* **PERCENTILE / COUNT_DISTINCT / TOPK** - each shard's answer carries
+  its canonical sketch blob; the coordinator folds the blobs (state is
+  canonical in the union multiset, so any merge order gives identical
+  bytes) and re-renders the answer from the merged sketch
+  (:func:`merge_sketch`).
 * **MIN / MAX** - the extremal per-shard estimate wins
   (:func:`merge_minmax`).  Exactness propagates only when every shard
   is exact *or provably empty* (zero live rows): a shard answering NaN
@@ -182,6 +187,31 @@ def merge_minmax(agg: AggFunc, results: Sequence[QueryResult],
                        n_covered=n_cov, n_partial=n_par)
 
 
+def merge_sketch(query: Query,
+                 results: Sequence[QueryResult]) -> QueryResult:
+    """PERCENTILE/COUNT_DISTINCT/TOPK combination: fold the blobs.
+
+    Each contributing shard's answer carries its canonical sketch blob
+    (``details["sketch"]``); blobs are deserialized, folded in any
+    order (the state is canonical in the union multiset, so the order
+    cannot matter) and re-rendered through the same
+    :func:`~repro.sketch.registry.sketch_answer` the shards themselves
+    used - which is what makes a merged answer byte-identical to the
+    single engine's answer over the union of the rows.
+    """
+    from ..sketch.registry import (SKETCH_KEY, merge_sketch_blobs,
+                                   sketch_answer, sketch_empty_answer)
+    blobs = [r.details[SKETCH_KEY] for r in results
+             if SKETCH_KEY in r.details]
+    if len(blobs) != len(results):
+        raise ValueError(
+            f"{query.agg.value} merge needs a sketch blob from every "
+            f"contributing shard ({len(blobs)} of {len(results)})")
+    if not blobs:
+        return sketch_empty_answer(query)
+    return sketch_answer(query, merge_sketch_blobs(blobs))
+
+
 def merge_results(query: Query, results: Sequence[QueryResult],
                   empty_ok: Optional[Sequence[bool]] = None
                   ) -> QueryResult:
@@ -199,6 +229,9 @@ def merge_results(query: Query, results: Sequence[QueryResult],
         return merge_moments(query.agg, results)
     if query.agg in (AggFunc.MIN, AggFunc.MAX):
         return merge_minmax(query.agg, results, empty_ok)
+    if query.agg in (AggFunc.PERCENTILE, AggFunc.COUNT_DISTINCT,
+                     AggFunc.TOPK):
+        return merge_sketch(query, results)
     raise ValueError(f"unsupported aggregate {query.agg}")
 
 

@@ -126,12 +126,23 @@ def _synopsis_payload(janus: JanusAQP) -> Dict[str, object]:
         "minmax_attrs": [dpt.stat_attrs[p] for p in
                          sorted(nodes[0].minmax)] if nodes else [],
     }
-    return dict(
+    payload = dict(
         meta=json.dumps(meta), parent=parent, rect_lo=rect_lo,
         rect_hi=rect_hi, h=h, delta_count=delta_count,
         base_count=base_count, exact=exact, csum=csum, csumsq=csumsq,
         cmin=cmin, cmax=cmax, dsum=dsum, dsumsq=dsumsq, bsum=bsum,
         bsumsq=bsumsq, pool_tids=pool_tids, pool_rows=pool_rows)
+    # Canonical sketch blobs ride as uint8 arrays keyed by the attr's
+    # position in config.sketch_attrs and the per-attr kind order -
+    # deterministic keys, no new meta entries.  ``_sketches`` is read
+    # directly (like the reservoir above): the caller already holds the
+    # engine lock for the whole snapshot gather.
+    for i, attr in enumerate(janus.config.sketch_attrs):
+        bank = janus._sketches[attr]
+        for j, kind in enumerate(sorted(bank)):
+            payload[f"sketch{i}_{j}"] = np.frombuffer(
+                bank[kind].to_bytes(), dtype=np.uint8)
+    return payload
 
 
 def load_synopsis(path: str, table: Table) -> JanusAQP:
@@ -226,6 +237,21 @@ def load_synopsis(path: str, table: Table) -> JanusAQP:
         # re-fire observer resets so rows/index/strata rebuild
         for obs in janus.reservoir._observers:
             obs.on_reset(list(live_tids))
+
+        # ---- restore sketch state from the archived blobs ------------ #
+        # Construction above already re-seeded the sketches from the
+        # restored table (canonical state, so the bytes agree); the
+        # archived blobs are still installed verbatim so a snapshot is
+        # authoritative even for archives the engine cannot re-derive.
+        blobs: Dict[str, List[bytes]] = {}
+        for i, attr in enumerate(config.sketch_attrs):
+            j = 0
+            while f"sketch{i}_{j}" in archive:
+                blobs.setdefault(attr, []).append(
+                    archive[f"sketch{i}_{j}"].tobytes())
+                j += 1
+        if blobs:
+            janus.restore_sketch_blobs(blobs)
     janus._install_support_structures()
     return janus
 

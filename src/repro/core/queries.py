@@ -29,6 +29,13 @@ class AggFunc(enum.Enum):
     Section 6.6 ("other aggregate functions such as STDDEV that can be
     composed using SUM and CNT"): they derive from the SUM, COUNT and
     sum-of-squares statistics every node already maintains.
+
+    PERCENTILE, COUNT_DISTINCT and TOPK are the sketch-backed
+    aggregates of :mod:`repro.sketch`: answered from mergeable
+    per-engine sketches rather than the partition tree, with
+    deterministic error bounds instead of normal confidence intervals.
+    PERCENTILE and TOPK carry their parameter (the quantile fraction,
+    the k) in :attr:`Query.param`.
     """
 
     SUM = "SUM"
@@ -38,6 +45,14 @@ class AggFunc(enum.Enum):
     MAX = "MAX"
     VARIANCE = "VARIANCE"
     STDDEV = "STDDEV"
+    PERCENTILE = "PERCENTILE"
+    COUNT_DISTINCT = "COUNT_DISTINCT"
+    TOPK = "TOPK"
+
+
+#: Aggregates answered from mergeable sketches, not the partition tree.
+SKETCH_AGGS = frozenset({AggFunc.PERCENTILE, AggFunc.COUNT_DISTINCT,
+                         AggFunc.TOPK})
 
 
 @dataclass(frozen=True)
@@ -162,21 +177,41 @@ class Query:
     ``predicate_attrs`` names the columns the rectangle constrains, in the
     same order as the rectangle's dimensions.  ``attr`` is the aggregation
     attribute; it is ignored for COUNT.
+
+    ``param`` is the parameterized aggregates' argument: the quantile
+    fraction ``p`` in ``[0, 1]`` for PERCENTILE, the integral ``k >= 1``
+    for TOPK.  Every other aggregate must leave it ``None`` - validated
+    here so a malformed query fails at construction, not mid-batch.
     """
 
     agg: AggFunc
     attr: str
     predicate_attrs: Tuple[str, ...]
     rect: Rectangle
+    param: Optional[float] = None
 
     def __post_init__(self) -> None:
         if len(self.predicate_attrs) != self.rect.dim:
             raise ValueError("predicate_attrs must match rectangle dims")
+        if self.agg is AggFunc.PERCENTILE:
+            if self.param is None or not 0.0 <= float(self.param) <= 1.0:
+                raise ValueError(
+                    f"PERCENTILE needs a fraction in [0, 1], got "
+                    f"{self.param!r}")
+        elif self.agg is AggFunc.TOPK:
+            if self.param is None or float(self.param) != \
+                    int(float(self.param)) or int(float(self.param)) < 1:
+                raise ValueError(
+                    f"TOPK needs an integral k >= 1, got {self.param!r}")
+        elif self.param is not None:
+            raise ValueError(
+                f"{self.agg.value} does not take a parameter")
 
-    def with_agg(self, agg: AggFunc, attr: Optional[str] = None) -> "Query":
+    def with_agg(self, agg: AggFunc, attr: Optional[str] = None,
+                 param: Optional[float] = None) -> "Query":
         """The same predicate with a different aggregation function/attr."""
         return Query(agg, attr if attr is not None else self.attr,
-                     self.predicate_attrs, self.rect)
+                     self.predicate_attrs, self.rect, param)
 
 
 @dataclass

@@ -62,7 +62,7 @@ from .janus import JanusAQP, JanusConfig, ReoptReport
 from .merge import merge_planned
 from .placement import (grow_tid_maps, place_batch, stagger_trigger,
                         strike_attr_bounds)
-from .queries import AggFunc, Query, QueryResult
+from .queries import AggFunc, Query, QueryResult, SKETCH_AGGS
 from .routing import RoutingStats, ShardSummary, plan_query_subsets
 from .table import Table
 
@@ -321,6 +321,11 @@ class ShardedJanusAQP:
     def pool_size(self) -> int:
         """Total pooled-sample size across shards."""
         return sum(s.pool_size for s in self.shards)
+
+    @property
+    def sketch_attrs(self) -> Tuple[str, ...]:
+        """Attributes every shard maintains sketch state for."""
+        return self.config.sketch_attrs
 
     @property
     def data_epoch(self) -> int:
@@ -671,6 +676,23 @@ class ShardedJanusAQP:
     # ------------------------------------------------------------------ #
     def ground_truth(self, query: Query) -> float:
         """Exact answer over the union of the shard tables."""
+        if query.agg in SKETCH_AGGS:
+            # Sketch aggregates are table-wide (unbounded predicate),
+            # so the union truth is the truth over the concatenation of
+            # the shards' live columns.
+            cols = [t.column(query.attr) for t in self.tables if len(t)]
+            vals = np.concatenate(cols) if cols else np.empty(0)
+            if query.agg is AggFunc.COUNT_DISTINCT:
+                return float(np.unique(vals).size)
+            if query.agg is AggFunc.TOPK:
+                uniques, cnts = np.unique(vals, return_counts=True)
+                order = np.lexsort((uniques, -cnts))
+                return float(cnts[order[:int(query.param)]].sum())
+            if vals.size == 0:
+                return math.nan
+            ordered = np.sort(vals)
+            rank = max(1, math.ceil(float(query.param) * ordered.size))
+            return float(ordered[rank - 1])
         counts = [t.ground_truth(query.with_agg(AggFunc.COUNT))
                   for t in self.tables]
         total = sum(counts)

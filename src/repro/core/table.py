@@ -262,6 +262,15 @@ class Table:
         vals = self._data[:self._n_slots, self._col_of[query.attr]][mask]
         if query.agg is AggFunc.SUM:
             return float(vals.sum())
+        if query.agg is AggFunc.COUNT_DISTINCT:
+            return float(np.unique(vals).size)
+        if query.agg is AggFunc.TOPK:
+            # Total row mass of the k most frequent values (ties broken
+            # count desc, value asc - the HeavyHitters sketch ordering;
+            # boundary ties have equal counts, so the mass is unique).
+            uniques, counts = np.unique(vals, return_counts=True)
+            order = np.lexsort((uniques, -counts))
+            return float(counts[order[:int(query.param)]].sum())
         if vals.size == 0:
             return math.nan
         if query.agg is AggFunc.AVG:
@@ -274,6 +283,13 @@ class Table:
             return float(vals.var())
         if query.agg is AggFunc.STDDEV:
             return float(vals.std())
+        if query.agg is AggFunc.PERCENTILE:
+            # Lower quantile: the value at rank ceil(p * n) (1-based;
+            # p=0 -> the minimum), matching QuantileSketch.quantile on
+            # an exact (height 0) sketch.
+            ordered = np.sort(vals)
+            rank = max(1, math.ceil(float(query.param) * ordered.size))
+            return float(ordered[rank - 1])
         raise ValueError(f"unsupported aggregate {query.agg}")
 
     def ground_truths(self, queries: Sequence[Query]) -> List[float]:

@@ -39,14 +39,19 @@ from ..core.templates import TemplateKey, template_key
 
 __all__ = ["CacheStats", "ResultCache", "cache_key"]
 
-#: (agg, aggregation attr, rectangle bounds) - the per-template part of
-#: a key; the epoch is prepended by the cache itself.
-QueryKey = Tuple[str, str, Tuple[float, ...], Tuple[float, ...]]
+#: (agg, aggregation attr, parameter, rectangle bounds) - the
+#: per-template part of a key; the epoch is prepended by the cache
+#: itself.  The parameter distinguishes PERCENTILE(x, 0.5) from
+#: PERCENTILE(x, 0.9) and TOPK(x, 5) from TOPK(x, 10), which share a
+#: template but answer different questions.
+QueryKey = Tuple[str, str, Optional[float], Tuple[float, ...],
+                 Tuple[float, ...]]
 
 
 def cache_key(query: Query) -> QueryKey:
     """Canonical hashable identity of one query within its template."""
-    return (query.agg.value, query.attr, query.rect.lo, query.rect.hi)
+    return (query.agg.value, query.attr, query.param,
+            query.rect.lo, query.rect.hi)
 
 
 class CacheStats:

@@ -137,9 +137,15 @@ class ServiceClient:
     # query plane
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _tag_cached(result: QueryResult, cached: bool) -> QueryResult:
+    def _envelope(payload: dict, cached: bool) -> QueryResult:
         # Whether the server answered from its epoch cache, surfaced
-        # the same way other answer metadata travels in-process.
+        # the same way other answer metadata travels in-process; TOPK
+        # answers additionally carry the decoded (value, count) item
+        # list the server derives from its heavy-hitter sketch.
+        result = result_from_dict(payload)
+        if "topk" in payload:
+            result.details["topk"] = [(float(v), int(c))
+                                      for v, c in payload["topk"]]
         result.details["cached"] = bool(cached)
         return result
 
@@ -151,27 +157,25 @@ class ServiceClient:
         """
         payload = self._json("POST", "/query",
                              {"query": query_to_dict(query)})
-        return self._tag_cached(result_from_dict(payload["result"]),
-                                payload["cached"])
+        return self._envelope(payload["result"], payload["cached"])
 
     def query_many(self, queries: Sequence[Query]) -> List[QueryResult]:
         """POST /query with a batch; results in request order."""
         payload = self._json("POST", "/query", {
             "queries": [query_to_dict(q) for q in queries]})
-        return [self._tag_cached(result_from_dict(r), c)
+        return [self._envelope(r, c)
                 for r, c in zip(payload["results"], payload["cached"])]
 
     def sql(self, statement: str) -> QueryResult:
         """POST /sql with one statement of the supported subset."""
         payload = self._json("POST", "/sql", {"sql": statement})
-        return self._tag_cached(result_from_dict(payload["result"]),
-                                payload["cached"])
+        return self._envelope(payload["result"], payload["cached"])
 
     def sql_many(self, statements: Sequence[str]) -> List[QueryResult]:
         """POST /sql with a statement batch; results in order."""
         payload = self._json("POST", "/sql",
                              {"sql": list(statements)})
-        return [self._tag_cached(result_from_dict(r), c)
+        return [self._envelope(r, c)
                 for r, c in zip(payload["results"], payload["cached"])]
 
     # ------------------------------------------------------------------ #

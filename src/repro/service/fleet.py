@@ -60,8 +60,10 @@ import numpy as np
 
 from ..broker.frames import (OP_DELETE, OP_ERR, OP_INSERT, OP_PING,
                              OP_QUERY, OP_REOPT, OP_SHUTDOWN, OP_STATS,
-                             OP_SUMMARY, decode_result_block,
-                             recv_frame, send_frame, split_reply)
+                             OP_SUMMARY, RESULT_DTYPE,
+                             attach_sketch_frames, decode_result_block,
+                             decode_sketch_block, recv_frame,
+                             send_frame, split_reply)
 from ..broker.requests import encode_query
 from ..core.merge import merge_planned
 from ..core.placement import PlacementMap
@@ -267,6 +269,11 @@ class FleetCoordinator:
         self.agg_attr = meta["agg_attr"]
         self.predicate_attrs = tuple(meta["predicate_attrs"])
         self.stat_attrs = tuple(meta["stat_attrs"])
+        # The serving tier validates sketch aggregates against this the
+        # same way it does for an in-process engine; every worker's
+        # shard is built from the same archived config.
+        self.sketch_attrs = tuple(
+            meta.get("config", {}).get("sketch_attrs", ()))
         self.n_shards = int(meta["n_shards"])
         self.route_attr = meta.get("route_attr")
         self._pred_cols = np.array(
@@ -603,11 +610,15 @@ class FleetCoordinator:
                     f"shard {s} worker is down; the fleet restarts it "
                     f"within one supervision cycle - retry") from exc
         self._note_epoch(s, epoch)
-        results = decode_result_block(body)
+        # The fixed block is exactly n records; whatever follows is the
+        # variable-length sketch sidecar of answers that carry blobs.
+        fixed_end = n * RESULT_DTYPE.itemsize
+        results = decode_result_block(body[:fixed_end])
         if len(results) != len(queries):
             raise RuntimeError(
                 f"worker {s} answered {len(results)} of "
                 f"{len(queries)} queries")
+        attach_sketch_frames(results, decode_sketch_block(body[fixed_end:]))
         return results
 
     # ------------------------------------------------------------------ #

@@ -47,7 +47,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..broker.requests import query_from_dict, result_to_dict
-from ..core.queries import AggFunc, Query, QueryResult
+from ..core.queries import SKETCH_AGGS, AggFunc, Query, QueryResult
+from ..sketch.registry import SKETCH_KEY, sketch_from_bytes
 from .batcher import MicroBatcher
 from .cache import ResultCache
 from .fleet import FleetUnavailableError
@@ -232,12 +233,27 @@ class AQPServer:
         """
         pred_attrs = tuple(self.engine.predicate_attrs)
         stat_attrs = getattr(self.engine, "stat_attrs", None)
+        sketch_attrs = tuple(getattr(self.engine, "sketch_attrs", ()))
         for query in queries:
             if query.predicate_attrs != pred_attrs:
                 raise _HTTPError(
                     400, f"predicate attributes "
                          f"{list(query.predicate_attrs)} do not match "
                          f"this synopsis (template: {list(pred_attrs)})")
+            if query.agg in SKETCH_AGGS:
+                if query.attr not in sketch_attrs:
+                    raise _HTTPError(
+                        400, f"no {query.agg.value} sketch is "
+                             f"maintained for column {query.attr!r} "
+                             f"(sketched: {list(sketch_attrs)})")
+                if not all(lo == float("-inf") and hi == float("inf")
+                           for lo, hi in zip(query.rect.lo,
+                                             query.rect.hi)):
+                    raise _HTTPError(
+                        400, f"{query.agg.value} is answered from a "
+                             f"whole-column sketch and cannot take "
+                             f"predicate bounds")
+                continue
             if stat_attrs is not None and \
                     query.agg is not AggFunc.COUNT and \
                     query.attr not in stat_attrs:
@@ -266,7 +282,20 @@ class AQPServer:
                 [queries[i] for i in misses])
             for i, result in zip(misses, answered):
                 results[i] = result
-        return [result_to_dict(r) for r in results], cached
+        payloads = [result_to_dict(r) for r in results]
+        for i, query in enumerate(queries):
+            # TOPK clients want the members, not just the covered mass;
+            # the item list rides next to the standard envelope (decoded
+            # from the answer's own sketch blob, so it is exactly the
+            # state the estimate came from).
+            if query.agg is AggFunc.TOPK:
+                blob = results[i].details.get(SKETCH_KEY)
+                if blob is not None:
+                    sketch = sketch_from_bytes(blob)
+                    payloads[i]["topk"] = [
+                        [float(value), int(count)] for value, count
+                        in sketch.top(int(query.param))]
+        return payloads, cached
 
     # ------------------------------------------------------------------ #
     # routes

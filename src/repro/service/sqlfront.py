@@ -9,6 +9,11 @@ partition-tree synopsis answers (paper Section 3.1)::
 
 * ``<AGG>`` is one of SUM, COUNT, AVG, MIN, MAX, VARIANCE, STDDEV
   (case-insensitive, like every keyword); ``COUNT(*)`` is allowed.
+* The sketch-backed aggregates take their parameter inside the call:
+  ``PERCENTILE(col, p)`` with ``p`` in ``[0, 1]``, ``TOPK(col, k)``
+  with an integral ``k >= 1``, and ``COUNT(DISTINCT col)`` compiles to
+  the COUNT_DISTINCT aggregate.  They are table-wide: a WHERE clause
+  on a sketch aggregate is rejected by the engine, not here.
 * The WHERE clause is a conjunction of range predicates over the
   engine's predicate attributes: ``BETWEEN`` (closed on both sides,
   like :class:`~repro.core.queries.Rectangle`), the comparisons
@@ -32,9 +37,27 @@ import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.queries import AggFunc, Query, Rectangle
+from ..core.queries import AggFunc, Query, Rectangle, SKETCH_AGGS
 
-__all__ = ["SQLError", "ParsedSQL", "parse_sql", "compile_sql"]
+__all__ = ["SQLError", "ParsedSQL", "aggregate_arity", "parse_sql",
+           "compile_sql"]
+
+
+def aggregate_arity(agg: AggFunc) -> int:
+    """Extra call arguments the aggregate's SQL form takes.
+
+    The parser consults this to accept/reject ``AGG(col, x)`` forms,
+    so it must dispatch every :class:`AggFunc` member explicitly - the
+    JL305 merge-closure site: growing the enum without deciding its
+    textual shape fails janus-lint here.
+    """
+    if agg in (AggFunc.PERCENTILE, AggFunc.TOPK):
+        return 1
+    if agg in (AggFunc.SUM, AggFunc.COUNT, AggFunc.AVG, AggFunc.MIN,
+               AggFunc.MAX, AggFunc.VARIANCE, AggFunc.STDDEV,
+               AggFunc.COUNT_DISTINCT):
+        return 0
+    raise ValueError(f"aggregate {agg} has no SQL arity rule")
 
 
 class SQLError(ValueError):
@@ -64,6 +87,9 @@ class ParsedSQL:
     conditions: Tuple[Tuple[str, float, float], ...]
     attr_pos: int = 0
     condition_positions: Tuple[int, ...] = ()
+    #: The parameterized aggregates' argument (PERCENTILE's fraction,
+    #: TOPK's k); ``None`` for every zero-arity aggregate.
+    param: Optional[float] = None
 
 
 _TOKEN_RE = re.compile(r"""
@@ -74,7 +100,7 @@ _TOKEN_RE = re.compile(r"""
     | (?P<op>>=|<=|<>|!=|=|<|>|\(|\)|\*|,)
     )""", re.VERBOSE)
 
-_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "BETWEEN"}
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "BETWEEN", "DISTINCT"}
 
 
 @dataclass(frozen=True)
@@ -159,15 +185,43 @@ class _Parser:
                 self.sql, agg_token.pos) from None
         self.expect_op("(")
         attr_pos = self.cur.pos
-        if self.cur.kind == "op" and self.cur.text == "*":
+        if self.cur.kind == "ident" and \
+                self.cur.text.upper() == "DISTINCT":
+            if agg is not AggFunc.COUNT:
+                raise self._fail(
+                    f"DISTINCT is only supported inside COUNT, not "
+                    f"{agg.value}")
+            self._advance()
+            agg = AggFunc.COUNT_DISTINCT
+            attr_pos = self.cur.pos
+            if self.cur.kind == "op" and self.cur.text == "*":
+                raise self._fail("COUNT(DISTINCT *) is not defined; "
+                                 "name a column")
+            attr: Optional[str] = self.identifier(
+                "a column to count distinct values of")
+        elif self.cur.kind == "op" and self.cur.text == "*":
             if agg is not AggFunc.COUNT:
                 raise self._fail(f"{agg.value}(*) is not defined; "
                                  "name a column")
             self._advance()
-            attr: Optional[str] = None
+            attr = None
             attr_pos = agg_token.pos
         else:
             attr = self.identifier("an aggregation column")
+        param: Optional[float] = None
+        if self.cur.kind == "op" and self.cur.text == ",":
+            if aggregate_arity(agg) == 0:
+                raise self._fail(
+                    f"{agg.value} does not take a parameter")
+            self._advance()
+            param_pos = self.cur.pos
+            param = self.number()
+            self._check_param(agg, param, param_pos)
+        elif aggregate_arity(agg) == 1:
+            raise self._fail(
+                f"{agg.value} needs a parameter: "
+                f"{agg.value}(col, "
+                f"{'p' if agg is AggFunc.PERCENTILE else 'k'})")
         self.expect_op(")")
         self.expect_keyword("FROM")
         table = self.identifier("a table name")
@@ -176,7 +230,20 @@ class _Parser:
             raise self._fail("trailing input after statement")
         return ParsedSQL(agg, attr, table, tuple(conditions),
                          attr_pos=attr_pos,
-                         condition_positions=tuple(positions))
+                         condition_positions=tuple(positions),
+                         param=param)
+
+    def _check_param(self, agg: AggFunc, param: float,
+                     pos: int) -> None:
+        """Range-check a parameter where the text still points at it."""
+        if agg is AggFunc.PERCENTILE and not 0.0 <= param <= 1.0:
+            raise SQLError(
+                f"PERCENTILE fraction must be in [0, 1], got {param!r}",
+                self.sql, pos)
+        if agg is AggFunc.TOPK and (param != int(param) or param < 1):
+            raise SQLError(
+                f"TOPK k must be an integer >= 1, got {param!r}",
+                self.sql, pos)
 
     def where_clause(self) -> Tuple[List[Tuple[str, float, float]],
                                     List[int]]:
@@ -258,7 +325,11 @@ def compile_sql(sql: str, agg_attr: str,
     parsed = parse_sql(sql)
     pred_attrs = tuple(predicate_attrs)
     attr = parsed.attr if parsed.attr is not None else agg_attr
+    # Sketch aggregates bind against the engine's sketch_attrs, a set
+    # this template does not carry; the serving tier validates them
+    # per engine (:meth:`JanusService._validate_queries`).
     if stat_attrs is not None and parsed.agg is not AggFunc.COUNT \
+            and parsed.agg not in SKETCH_AGGS \
             and attr not in tuple(stat_attrs):
         raise SQLError(
             f"aggregation column {attr!r} is not tracked by this "
@@ -280,4 +351,5 @@ def compile_sql(sql: str, agg_attr: str,
                for a in pred_attrs)
     hi = tuple(bound.get(a, (-math.inf, math.inf))[1]
                for a in pred_attrs)
-    return Query(parsed.agg, attr, pred_attrs, Rectangle(lo, hi))
+    return Query(parsed.agg, attr, pred_attrs, Rectangle(lo, hi),
+                 parsed.param)

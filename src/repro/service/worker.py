@@ -43,6 +43,7 @@ import numpy as np
 from ..broker.frames import (OP_DELETE, OP_ERR, OP_INSERT, OP_OK,
                              OP_PING, OP_QUERY, OP_REOPT, OP_SHUTDOWN,
                              OP_STATS, OP_SUMMARY, encode_result_block,
+                             encode_sketch_block, extract_sketch_frames,
                              pack_reply, recv_frame, send_frame)
 from ..broker.requests import decode
 from ..core.janus import JanusAQP
@@ -168,13 +169,21 @@ class ShardWorker:
     # queries and introspection
     # ------------------------------------------------------------------ #
     def _handle_query(self, payload) -> None:
-        """Broker-codec query records in, a RESULT_DTYPE block out."""
+        """Broker-codec query records in, a RESULT_DTYPE block out.
+
+        Answers that carry sketch blobs (the sketch aggregates) append
+        a variable-length sidecar after the fixed block; the reply meta
+        still counts results, so the coordinator knows where the fixed
+        block ends.
+        """
         records = bytes(payload).decode("utf-8").split("\n")
         queries = [decode(r).query for r in records]
         results = self.shard.query_many(queries)
         send_frame(self.sock, OP_OK, len(results),
                    pack_reply(self.shard.data_epoch,
-                              [encode_result_block(results)]))
+                              [encode_result_block(results),
+                               encode_sketch_block(
+                                   extract_sketch_frames(results))]))
 
     def _summary_npz(self) -> bytes:
         """A fresh exact routing summary, as npz bytes.

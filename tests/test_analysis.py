@@ -341,6 +341,57 @@ def test_merge_closure_accepts_closed_dispatch():
     assert check_merge_closure(Project.from_sources(fixed)) == []
 
 
+# The two PR 9 closure sites: every aggregate needs a sketch-kind
+# decision (JL304) and a SQL arity (JL305).  VARIANCE is deliberately
+# unhandled in both dispatchers.
+SKETCH_CLOSURE_BAD = {
+    "src/repro/core/queries.py": MERGE_ENUM,
+    "src/repro/sketch/registry.py": textwrap.dedent('''\
+        def sketch_kind_for(agg):
+            if agg is AggFunc.COUNT:
+                return None
+            if agg is AggFunc.SUM:
+                return None
+            raise ValueError(agg)
+        '''),
+    "src/repro/service/sqlfront.py": textwrap.dedent('''\
+        def aggregate_arity(agg):
+            if agg in (AggFunc.COUNT, AggFunc.SUM):
+                return 0
+            raise ValueError(agg)
+        '''),
+}
+
+
+def test_sketch_closure_flags_unhandled_member_at_site():
+    findings = check_merge_closure(
+        Project.from_sources(SKETCH_CLOSURE_BAD))
+    # Both new sites flag the forgotten member at the dispatch
+    # function's exact location (line 1 of each fixture).
+    assert has(findings, "JL304", "src/repro/sketch/registry.py", 1)
+    assert has(findings, "JL305", "src/repro/service/sqlfront.py", 1)
+    sketch_findings = [f for f in findings
+                       if f.code in ("JL304", "JL305")]
+    assert len(sketch_findings) == 2
+    for f in sketch_findings:
+        assert "VARIANCE" in f.message
+
+
+def test_sketch_closure_accepts_closed_dispatch():
+    fixed = dict(SKETCH_CLOSURE_BAD)
+    fixed["src/repro/sketch/registry.py"] = fixed[
+        "src/repro/sketch/registry.py"].replace(
+        "raise ValueError(agg)",
+        "if agg is AggFunc.VARIANCE:\n        return None\n"
+        "    raise ValueError(agg)")
+    fixed["src/repro/service/sqlfront.py"] = fixed[
+        "src/repro/service/sqlfront.py"].replace(
+        "(AggFunc.COUNT, AggFunc.SUM)",
+        "(AggFunc.COUNT, AggFunc.SUM, AggFunc.VARIANCE)")
+    findings = check_merge_closure(Project.from_sources(fixed))
+    assert not has(findings, "JL304") and not has(findings, "JL305")
+
+
 # ------------------------------------------------------------------ #
 # codec parity (JL401 / JL402)
 # ------------------------------------------------------------------ #

@@ -158,12 +158,21 @@ class TestCodecRoundtrip:
            st.integers(1, 4),
            st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=8,
                     max_size=8),
-           st.integers(0, 10 ** 6))
-    def test_query_roundtrip(self, agg, dim, nums, qid):
+           st.integers(0, 10 ** 6),
+           st.floats(0.0, 1.0, allow_nan=False),
+           st.integers(1, 64))
+    def test_query_roundtrip(self, agg, dim, nums, qid, frac, k):
         los = sorted(nums[:dim * 2])[:dim]
         his = sorted(nums[:dim * 2])[dim:dim * 2]
         attrs = tuple(f"c{i}" for i in range(dim))
-        q = Query(agg, "a", attrs, Rectangle(tuple(los), tuple(his)))
+        if agg is AggFunc.PERCENTILE:
+            param = frac
+        elif agg is AggFunc.TOPK:
+            param = float(k)
+        else:
+            param = None
+        q = Query(agg, "a", attrs, Rectangle(tuple(los), tuple(his)),
+                  param)
         out = decode(encode_query(qid, q))
         assert out.query == q and out.query_id == qid
 

@@ -5,8 +5,8 @@ import math
 import pytest
 
 from repro.core.queries import AggFunc
-from repro.service.sqlfront import (ParsedSQL, SQLError, compile_sql,
-                                    parse_sql)
+from repro.service.sqlfront import (ParsedSQL, SQLError, aggregate_arity,
+                                    compile_sql, parse_sql)
 
 AGG = "trip_distance"
 PREDS = ("pickup_time", "fare")
@@ -38,7 +38,15 @@ class TestParse:
 
     def test_every_aggregate(self):
         for agg in AggFunc:
-            parsed = parse_sql(f"SELECT {agg.value}(v) FROM t")
+            if agg is AggFunc.COUNT_DISTINCT:
+                sql = "SELECT COUNT(DISTINCT v) FROM t"
+            elif aggregate_arity(agg):
+                # 1 is valid for both parameterized forms: a PERCENTILE
+                # fraction in [0, 1] and a TOPK k >= 1.
+                sql = f"SELECT {agg.value}(v, 1) FROM t"
+            else:
+                sql = f"SELECT {agg.value}(v) FROM t"
+            parsed = parse_sql(sql)
             assert parsed.agg is agg
 
     def test_multiple_conjuncts(self):
@@ -166,3 +174,81 @@ class TestCompile:
         with pytest.raises(SQLError) as err:
             compile_sql(sql, AGG, PREDS, stat_attrs=("fare",))
         assert err.value.pos == sql.index("nope")
+
+
+class TestSketchGrammar:
+    """The PR 9 sketch-aggregate surface of the grammar."""
+
+    def test_percentile_with_fraction(self):
+        sql = "SELECT PERCENTILE(fare, 0.5) FROM trips"
+        parsed = parse_sql(sql)
+        assert parsed.agg is AggFunc.PERCENTILE
+        assert parsed.attr == "fare"
+        assert parsed.param == 0.5
+
+    def test_count_distinct(self):
+        parsed = parse_sql("SELECT COUNT(DISTINCT fare) FROM trips")
+        assert parsed.agg is AggFunc.COUNT_DISTINCT
+        assert parsed.attr == "fare"
+        assert parsed.param is None
+
+    def test_distinct_keyword_is_case_insensitive(self):
+        parsed = parse_sql("select count(distinct fare) from trips")
+        assert parsed.agg is AggFunc.COUNT_DISTINCT
+
+    def test_topk_with_k(self):
+        parsed = parse_sql("SELECT TOPK(fare, 10) FROM trips")
+        assert parsed.agg is AggFunc.TOPK
+        assert parsed.param == 10.0
+
+    def test_compiles_to_parameterized_query(self):
+        query = compile_sql("SELECT PERCENTILE(trip_distance, 0.9) "
+                            "FROM t", AGG, PREDS)
+        assert query.agg is AggFunc.PERCENTILE
+        assert query.param == 0.9
+        assert query.rect.lo == (-math.inf, -math.inf)
+        query = compile_sql("SELECT TOPK(trip_distance, 10) FROM t",
+                            AGG, PREDS)
+        assert query.param == 10.0
+
+    def test_sketch_aggregates_skip_stat_attrs_check(self):
+        # Sketch coverage is validated by the serving tier against the
+        # engine's sketch_attrs, not the stat_attrs template.
+        query = compile_sql("SELECT COUNT(DISTINCT zone) FROM t", AGG,
+                            PREDS, stat_attrs=("trip_distance",))
+        assert query.attr == "zone"
+
+    def test_arity_table_is_total(self):
+        for agg in AggFunc:
+            assert aggregate_arity(agg) in (0, 1)
+        assert aggregate_arity(AggFunc.PERCENTILE) == 1
+        assert aggregate_arity(AggFunc.TOPK) == 1
+        assert aggregate_arity(AggFunc.COUNT_DISTINCT) == 0
+
+    @pytest.mark.parametrize("sql,fragment,anchor", [
+        ("SELECT PERCENTILE(fare, 1.5) FROM t",
+         "fraction must be in [0, 1]", "1.5"),
+        ("SELECT PERCENTILE(fare, -0.1) FROM t",
+         "fraction must be in [0, 1]", "-0.1"),
+        ("SELECT TOPK(fare, 0) FROM t",
+         "k must be an integer >= 1", "0)"),
+        ("SELECT TOPK(fare, 2.5) FROM t",
+         "k must be an integer >= 1", "2.5"),
+        ("SELECT COUNT(DISTINCT *) FROM t",
+         "COUNT(DISTINCT *) is not defined", "*"),
+        ("SELECT AVG(DISTINCT fare) FROM t",
+         "DISTINCT is only supported inside COUNT", "DISTINCT"),
+        ("SELECT SUM(fare, 3) FROM t",
+         "does not take a parameter", ", 3"),
+        ("SELECT PERCENTILE(fare) FROM t",
+         "needs a parameter", None),
+        ("SELECT TOPK(fare) FROM t",
+         "needs a parameter", None),
+    ])
+    def test_errors_are_positioned_at_the_problem(self, sql, fragment,
+                                                  anchor):
+        with pytest.raises(SQLError) as err:
+            parse_sql(sql)
+        assert fragment.lower() in str(err.value).lower()
+        if anchor is not None:
+            assert err.value.pos == sql.index(anchor)

@@ -1,5 +1,8 @@
 """Tests for top-k/bottom-k MIN/MAX maintenance (Section 4.1 semantics)."""
 
+from collections import Counter
+
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -115,3 +118,92 @@ def test_max_exactness_invariant(values, k):
         assert t.top() == pytest.approx(max(live))
     elif live:
         assert t.top() >= max(live)              # outer approximation
+
+
+class TestSaturationContract:
+    """Property pins for the outer-approximation contract (PR 9).
+
+    Unlike the sketch package's :class:`~repro.sketch.counted.
+    HeavyHitters` (whose ``exact`` is a pure function of the live
+    multiset), the seed structure's flag is *sticky* by design: once a
+    delete is refused, top() is an outer approximation forever, and
+    values trimmed at insert time can never refill the window.
+    """
+
+    def test_trimmed_values_cannot_refill_window(self):
+        t = TopK(k=3, largest=True)
+        for v in [1, 2, 3, 4, 5]:
+            t.insert(v)                      # window [3,4,5]; 1,2 gone
+        t.delete(4)
+        t.delete(5)
+        assert t.values() == [3.0]
+        t.delete(1)                          # trimmed long ago: ignored,
+        t.delete(2)                          # must not resurface
+        assert t.values() == [3.0] and t.exact
+        t.delete(3)                          # would empty: refused
+        assert not t.exact and t.top() == 3.0
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(0, 12).map(float), min_size=1,
+                    max_size=40),
+           st.integers(1, 5), st.integers(0, 2 ** 31 - 1))
+    def test_exact_flag_is_monotone_under_delete_heavy_stream(
+            self, values, k, seed):
+        """Once the flag drops it never recovers, deletes included."""
+        rng = np.random.default_rng(seed)
+        t = TopK(k=k, largest=True)
+        for v in values:
+            t.insert(v)
+        flags = [t.exact]
+        # Delete-heavy: every inserted value attempted twice, shuffled,
+        # then a full drain of whatever the window still tracks.
+        for v in rng.permutation(np.repeat(values, 2)):
+            t.delete(float(v))
+            flags.append(t.exact)
+            assert len(t) >= 1               # never drained below one
+        for v in list(t.values()):
+            t.delete(v)
+            flags.append(t.exact)
+        assert all(a >= b for a, b in zip(flags, flags[1:]))
+        assert not t.exact                   # a full drain always flips
+        assert t.top() is not None           # outer approximation kept
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(0, 12).map(float), min_size=1,
+                    max_size=40),
+           st.integers(1, 5), st.integers(0, 2 ** 31 - 1))
+    def test_deletes_never_grow_the_window(self, values, k, seed):
+        """A delete removes at most one tracked occurrence; nothing
+        (in particular no trimmed value) ever re-enters on a delete."""
+        rng = np.random.default_rng(seed)
+        t = TopK(k=k, largest=True)
+        for v in values:
+            t.insert(v)
+            assert len(t) <= k
+        for v in rng.permutation(np.asarray(values, dtype=float)):
+            before = Counter(t.values())
+            t.delete(float(v))
+            after = Counter(t.values())
+            assert sum(after.values()) in (sum(before.values()),
+                                           sum(before.values()) - 1)
+            assert all(after[x] <= before[x] for x in after)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(-50, 50, allow_nan=False), min_size=1,
+                    max_size=30),
+           st.integers(1, 6), st.integers(0, 2 ** 31 - 1))
+    def test_minmax_outer_approximation_brackets_truth(self, values, k,
+                                                       seed):
+        """Exact or not, reported MAX >= true max and MIN <= true min
+        of the surviving multiset (while any row survives)."""
+        rng = np.random.default_rng(seed)
+        mm = MinMaxStats(k=k)
+        live = [float(v) for v in values]
+        for v in live:
+            mm.insert(v)
+        order = rng.permutation(len(live))
+        for i in order[:len(live) - 1]:      # keep one row alive
+            mm.delete(live[i])
+        survivors = [live[i] for i in order[len(live) - 1:]]
+        assert mm.max_value >= max(survivors) - 1e-12
+        assert mm.min_value <= min(survivors) + 1e-12

@@ -13,7 +13,8 @@ pass            codes     invariant
 ==============  ========  ==================================================
 epoch           JL101-102 every mutation path bumps ``data_epoch``
 locks           JL201-205 guarded-by/lock-order discipline
-merge-closure   JL301-303 aggregates closed over merge/fallback/oracle
+merge-closure   JL301-305 aggregates closed over merge/fallback/oracle/
+                          sketch-kind/SQL-arity
 codec-parity    JL401-402 dataclasses round-trip the wire/archive codecs
 hygiene         JL501-503 seeded RNG, no numeric ``is``, no bare except
 ==============  ========  ==================================================

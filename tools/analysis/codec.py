@@ -51,6 +51,10 @@ CODECS = [
      "broker/frames.py", "encode_result_block", "attr-refs:result"),
     ("core/queries.py", "QueryResult",
      "broker/frames.py", "decode_result_block", "ctor-kwargs"),
+    ("broker/frames.py", "SketchFrame",
+     "broker/frames.py", "encode_sketch_block", "attr-refs:frame"),
+    ("broker/frames.py", "SketchFrame",
+     "broker/frames.py", "decode_sketch_block", "ctor-kwargs"),
 ]
 
 #: (save module, save function, load module, load function) pairs whose

@@ -1,4 +1,4 @@
-"""Merge-closure pass (JL301-JL303).
+"""Merge-closure pass (JL301-JL305).
 
 A new aggregate added to ``core/queries.py`` must be answerable and
 mergeable everywhere before it can ship; otherwise it works in the
@@ -15,6 +15,14 @@ a router fallback touches it.  This pass pins three closure points:
 * **JL303** - every member must be handled by
   ``core/table.py::Table.ground_truth`` (the oracle used by tests and
   benches; an aggregate without ground truth cannot be validated).
+* **JL304** - every member must be classified by
+  ``src/repro/sketch/registry.py::sketch_kind_for`` (sketch kind or an
+  explicit not-a-sketch decision; an unclassified aggregate would make
+  the engine silently skip sketch maintenance for it).
+* **JL305** - every member must have an arity in
+  ``src/repro/service/sqlfront.py::aggregate_arity`` (the SQL grammar
+  dispatches parameter parsing on it; a missing member parses as a
+  confusing grammar error instead of a typed one).
 """
 
 from __future__ import annotations
@@ -89,6 +97,10 @@ SITES = [
      "router uniform-density fallback"),
     ("JL303", "core/table.py", "Table.ground_truth", "attr",
      "exact ground-truth oracle"),
+    ("JL304", "sketch/registry.py", "sketch_kind_for", "attr",
+     "sketch kind classification"),
+    ("JL305", "service/sqlfront.py", "aggregate_arity", "attr",
+     "SQL aggregate arity table"),
 ]
 
 
