@@ -1,0 +1,232 @@
+"""Observability overhead + engine stall profile.
+
+Two questions, one artifact:
+
+* **Overhead** - the tracing/metrics plumbing must be invisible on the
+  untraced hot path.  The same 8-client workload is driven against one
+  server with sampling disabled and one tracing 1-in-64 requests,
+  interleaved A/B/A/B so runner drift hits both sides equally.  The
+  <5% QPS gate is asserted in full mode only (a shared smoke runner
+  cannot hold a 5% wall-clock bound); the number is always recorded.
+
+* **Stalls** - the engine histograms the issue added
+  (``janus_engine_reoptimize_seconds``, ``_repartition_seconds``,
+  ``_ingest_stall_seconds``) are exercised by an ingest +
+  forced-repartition + reoptimize workload and their exact-window
+  p50/p99 land in the artifact, so stall regressions show up as a
+  diff in ``BENCH_observability.json``.
+
+The traced server also answers one ``"explain": true`` request and has
+its ``/metrics`` page validated by :func:`repro.obs.parse_exposition`
+(every family a ``janus_*`` name with HELP and TYPE) - the exposition
+correctness check CI runs against a live fleet too.
+
+Emits ``BENCH_observability.json``.  ``JANUS_BENCH_SMOKE=1`` reduces
+the scale but still writes the artifact and still asserts trace
+delivery, explain stages and exposition validity.
+"""
+
+import os
+import threading
+import time
+from functools import lru_cache
+
+import numpy as np
+
+from conftest import emit, emit_json
+from repro.core.janus import JanusAQP, JanusConfig
+from repro.core.queries import AggFunc, Query, Rectangle
+from repro.core.repartition import partial_repartition
+from repro.core.sharded import ShardedJanusAQP
+from repro.core.table import Table
+from repro.datasets import synthetic
+from repro.obs import parse_exposition
+from repro.service import ServiceClient, serve_background
+
+SMOKE = os.environ.get("JANUS_BENCH_SMOKE", "") not in ("", "0")
+
+N_ROWS = 8_000 if SMOKE else 40_000
+N_SHARDS = 2
+N_CLIENTS = 8
+PER_CLIENT = 30 if SMOKE else 120
+ROUNDS = 2 if SMOKE else 4              # A/B pairs
+TRACE_SAMPLE = 64
+MAX_OVERHEAD = 0.05                     # gate, full mode only
+
+STALL_BATCHES = 12 if SMOKE else 40
+STALL_BATCH_ROWS = 500
+STALL_REOPTS = 2 if SMOKE else 4
+
+EXPLAIN_STAGES = ("parse", "admission", "cache_lookup", "plan",
+                  "execute", "merge")
+
+
+@lru_cache(maxsize=None)
+def build_world():
+    ds = synthetic.load("nyc_taxi", n=N_ROWS, seed=0)
+    engine = ShardedJanusAQP(
+        ds.schema, ds.agg_attr, ds.predicate_attrs, n_shards=N_SHARDS,
+        config=JanusConfig(k=16, sample_rate=0.03,
+                           check_every=10 ** 9, seed=0))
+    engine.insert_many(ds.data)
+    engine.initialize()
+    return ds, engine
+
+
+def query_pool(ds, n=48):
+    rng = np.random.default_rng(5)
+    aggs = (AggFunc.SUM, AggFunc.COUNT, AggFunc.AVG)
+    pool = []
+    for i in range(n):
+        lo, hi = sorted(rng.uniform(0, 500, 2))
+        pool.append(Query(aggs[i % len(aggs)], ds.agg_attr,
+                          ds.predicate_attrs,
+                          Rectangle((float(lo),), (float(hi),))))
+    return pool
+
+
+def drive_round(handle, pool):
+    """One 8-client burst; returns aggregate QPS."""
+    barrier = threading.Barrier(N_CLIENTS)
+    rng = np.random.default_rng(9)
+    streams = [[pool[j] for j in rng.integers(0, len(pool), PER_CLIENT)]
+               for _ in range(N_CLIENTS)]
+
+    def run_client(stream):
+        with ServiceClient(handle.host, handle.port) as client:
+            barrier.wait(timeout=60)
+            for query in stream:
+                client.query(query)
+
+    threads = [threading.Thread(target=run_client, args=(s,))
+               for s in streams]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    return N_CLIENTS * PER_CLIENT / wall
+
+
+def measure_overhead(ds, engine, pool):
+    """Interleaved A/B QPS: sampling off vs tracing 1-in-64."""
+    qps = {"off": [], "on": []}
+    with serve_background(engine, port=0, cache_enabled=False,
+                          trace_sample=0) as off:
+        with serve_background(engine, port=0, cache_enabled=False,
+                              trace_sample=TRACE_SAMPLE) as on:
+            drive_round(off, pool)      # warm both executors
+            drive_round(on, pool)
+            for _ in range(ROUNDS):
+                qps["off"].append(drive_round(off, pool))
+                qps["on"].append(drive_round(on, pool))
+
+            # With 8 x PER_CLIENT requests at 1-in-64 the sampler must
+            # have recorded traces - delivery is gated even in smoke.
+            with ServiceClient(on.host, on.port) as client:
+                debug = client._json("GET", "/debug/traces")
+                explained = client._json(
+                    "POST", "/sql",
+                    {"sql": f"SELECT SUM({ds.agg_attr}) FROM t",
+                     "explain": True})
+                families = parse_exposition(client.metrics())
+    base = float(np.median(qps["off"]))
+    traced = float(np.median(qps["on"]))
+    for name, family in families.items():
+        assert name.startswith("janus_"), name
+        assert family["type"] is not None and family["help"] is not None
+    return {
+        "qps_untraced": base,
+        "qps_traced": traced,
+        "qps_rounds_untraced": qps["off"],
+        "qps_rounds_traced": qps["on"],
+        "overhead_pct": (base - traced) / base * 100.0,
+        "n_traces_recorded": debug["n"],
+        "explain_stages_us": explained["explain"]["stages_us"],
+        "n_metric_families": len(families),
+    }
+
+
+def measure_stalls():
+    """Ingest + forced repartition + reoptimize stall histograms."""
+    ds = synthetic.load("nyc_taxi",
+                        n=STALL_BATCHES * STALL_BATCH_ROWS, seed=1)
+    table = Table(ds.schema,
+                  capacity=STALL_BATCHES * STALL_BATCH_ROWS + 16)
+    engine = JanusAQP(table, ds.agg_attr, ds.predicate_attrs,
+                      config=JanusConfig(k=16, sample_rate=0.05,
+                                         check_every=10 ** 9, seed=0))
+    engine.insert_many(ds.data[:STALL_BATCH_ROWS])
+    engine.initialize()
+    for b in range(1, STALL_BATCHES):
+        lo, hi = b * STALL_BATCH_ROWS, (b + 1) * STALL_BATCH_ROWS
+        engine.insert_many(ds.data[lo:hi])
+        if b % 4 == 0:
+            leaf = engine.dpt.leaves[b % len(engine.dpt.leaves)]
+            partial_repartition(engine, leaf, psi=2)
+    for _ in range(STALL_REOPTS):
+        engine.reoptimize()
+
+    out = {}
+    for key, name in (("reoptimize", "janus_engine_reoptimize_seconds"),
+                      ("reopt_blocking",
+                       "janus_engine_reopt_blocking_seconds"),
+                      ("repartition",
+                       "janus_engine_repartition_seconds"),
+                      ("ingest_stall",
+                       "janus_engine_ingest_stall_seconds")):
+        hist = engine.metrics.histogram(name)
+        out[key] = {"count": hist.count,
+                    "p50_ms": hist.percentile(0.50) * 1e3,
+                    "p99_ms": hist.percentile(0.99) * 1e3}
+    return out
+
+
+@lru_cache(maxsize=None)
+def run_observability():
+    ds, engine = build_world()
+    pool = query_pool(ds)
+    result = {"smoke": SMOKE, "n_rows": N_ROWS,
+              "n_clients": N_CLIENTS, "per_client": PER_CLIENT,
+              "trace_sample": TRACE_SAMPLE}
+    result.update(measure_overhead(ds, engine, pool))
+    result["stalls"] = measure_stalls()
+    return result
+
+
+def format_table(r) -> str:
+    lines = [
+        f"Observability overhead ({r['n_rows']} rows, "
+        f"{r['n_clients']} clients x {r['per_client']}, tracing "
+        f"1/{r['trace_sample']}{', smoke' if r['smoke'] else ''})",
+        f"  qps untraced {r['qps_untraced']:>10,.0f}",
+        f"  qps traced   {r['qps_traced']:>10,.0f}"
+        f"   ({r['overhead_pct']:+.2f}% overhead, gate "
+        f"<{MAX_OVERHEAD:.0%} in full mode)",
+        f"  {r['n_traces_recorded']} traces recorded, "
+        f"{r['n_metric_families']} metric families on /metrics",
+        f"  explain stages: " + ", ".join(
+            f"{k}={v}us" for k, v in
+            sorted(r["explain_stages_us"].items())),
+        f"{'stall':>14}{'count':>8}{'p50 ms':>10}{'p99 ms':>10}",
+    ]
+    for key, row in r["stalls"].items():
+        lines.append(f"{key:>14}{row['count']:>8}"
+                     f"{row['p50_ms']:>10.3f}{row['p99_ms']:>10.3f}")
+    return "\n".join(lines)
+
+
+def test_observability(benchmark):
+    """Tracing at 1/64 must not dent untraced QPS (full mode: <5%);
+    stall histograms must have observations to report."""
+    result = benchmark.pedantic(run_observability, rounds=1,
+                                iterations=1)
+    emit("observability", format_table(result))
+    emit_json("BENCH_observability", result)
+    assert result["n_traces_recorded"] >= 1
+    assert set(EXPLAIN_STAGES) <= set(result["explain_stages_us"])
+    for key in ("reoptimize", "repartition", "ingest_stall"):
+        assert result["stalls"][key]["count"] > 0, key
+    if not SMOKE:
+        assert result["overhead_pct"] < MAX_OVERHEAD * 100.0

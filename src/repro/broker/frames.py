@@ -7,7 +7,7 @@ process boundary is framed here.  The design goals, in order:
 1. **zero-copy row transport** - row blocks and tid arrays travel as
    raw little-endian numpy buffers (``ndarray -> sendall`` on the way
    out, ``recv_into -> frombuffer`` on the way in), never JSON.  An
-   insert of n rows costs ``13 + 8*n*n_cols`` bytes on the wire and no
+   insert of n rows costs ``29 + 8*n*n_cols`` bytes on the wire and no
    per-row Python object ever exists;
 2. **codec reuse** - queries ride the existing line format of
    :mod:`repro.broker.requests` (``encode_query``/``decode``), one
@@ -22,14 +22,24 @@ process boundary is framed here.  The design goals, in order:
 
 Frame layout (little-endian)::
 
-    header  = opcode:u8 | meta:u32 | payload_len:u64      (13 bytes)
+    header  = opcode:u8 | meta:u32 | trace_id:u64 | span:u64
+              | payload_len:u64                           (29 bytes)
     payload = payload_len raw bytes (opcode-specific)
 
 ``meta`` is an opcode-specific small integer (column count for
-INSERT, result count for a QUERY reply, flag bits elsewhere).  Every
-*reply* payload starts with the worker's ``data_epoch`` as an ``i64``
-(:func:`pack_reply` / :func:`split_reply`) so the coordinator's cache
-epoch mirror stays current without extra round trips.
+INSERT, result count for a QUERY reply, flag bits elsewhere).
+``trace_id`` is 0 for untraced traffic; on a traced *request* it
+carries the request's trace id and ``span`` the coordinator-side
+parent span id, so the worker can parent its own spans under the
+coordinator's ``shard_execute``.  On a traced OP_QUERY *reply*,
+``span`` is reinterpreted as the byte length of a JSON span sidecar
+appended after the opcode-specific body (see
+:mod:`repro.obs.trace`); it is 0 on every untraced frame, which
+keeps the untraced wire byte-compatible apart from the wider header.
+Every *reply* payload starts with the worker's ``data_epoch`` as an
+``i64`` (:func:`pack_reply` / :func:`split_reply`) so the
+coordinator's cache epoch mirror stays current without extra round
+trips.
 """
 
 from __future__ import annotations
@@ -55,8 +65,9 @@ __all__ = [
     "recv_frame", "send_frame", "split_reply",
 ]
 
-#: ``opcode:u8 | meta:u32 | payload_len:u64``, packed little-endian.
-HEADER = struct.Struct("<BIQ")
+#: ``opcode:u8 | meta:u32 | trace_id:u64 | span:u64 | payload_len:u64``,
+#: packed little-endian.
+HEADER = struct.Struct("<BIQQQ")
 
 #: Hard per-frame ceiling (1 GiB): a corrupt length prefix must fail
 #: fast, not drive a multi-exabyte allocation.
@@ -101,19 +112,22 @@ RESULT_DTYPE = np.dtype([
 # socket framing
 # ---------------------------------------------------------------------- #
 def send_frame(sock: socket.socket, opcode: int, meta: int = 0,
-               bufs: Iterable = ()) -> int:
+               bufs: Iterable = (), trace_id: int = 0,
+               span: int = 0) -> int:
     """Write one frame; returns the total bytes put on the wire.
 
     ``bufs`` is any iterable of buffer-protocol chunks (bytes,
     memoryviews, numpy arrays); they are concatenated as the payload
     without an intermediate copy of the large blocks - a C-contiguous
-    ndarray goes to ``sendall`` as its own memory.
+    ndarray goes to ``sendall`` as its own memory.  ``trace_id`` and
+    ``span`` default to 0 (untraced); see the module docstring for
+    their traced semantics.
     """
     chunks = [memoryview(np.ascontiguousarray(b)).cast("B")
               if isinstance(b, np.ndarray) else memoryview(b)
               for b in bufs]
     total = sum(c.nbytes for c in chunks)
-    sock.sendall(HEADER.pack(opcode, meta, total))
+    sock.sendall(HEADER.pack(opcode, meta, trace_id, span, total))
     for c in chunks:
         sock.sendall(c)
     return HEADER.size + total
@@ -132,14 +146,17 @@ def recv_exact(sock: socket.socket, n: int) -> memoryview:
     return memoryview(buf)
 
 
-def recv_frame(sock: socket.socket) -> Tuple[int, int, memoryview]:
-    """Read one frame; returns ``(opcode, meta, payload)``."""
-    opcode, meta, length = HEADER.unpack(recv_exact(sock, HEADER.size))
+def recv_frame(sock: socket.socket
+               ) -> Tuple[int, int, memoryview, int, int]:
+    """Read one frame; returns ``(opcode, meta, payload, trace_id,
+    span)``.  The trailing pair is ``(0, 0)`` on untraced traffic."""
+    opcode, meta, trace_id, span, length = HEADER.unpack(
+        recv_exact(sock, HEADER.size))
     if length > MAX_PAYLOAD:
         raise ValueError(f"frame of {length} bytes exceeds the "
                          f"{MAX_PAYLOAD}-byte ceiling")
     payload = recv_exact(sock, length) if length else memoryview(b"")
-    return opcode, meta, payload
+    return opcode, meta, payload, trace_id, span
 
 
 # ---------------------------------------------------------------------- #

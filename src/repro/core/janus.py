@@ -43,6 +43,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..index.range_index import RangeIndex
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceContext, maybe_span
 from ..partitioning.kdtree import KDTreePartitioner
 from ..partitioning.maxvar import MaxVarOracle
 from ..partitioning.onedim import OneDimPartitioner
@@ -308,7 +310,9 @@ class JanusAQP:
     def __init__(self, table: Table, agg_attr: str,
                  predicate_attrs: Sequence[str],
                  config: Optional[JanusConfig] = None,
-                 stat_attrs: Optional[Sequence[str]] = None) -> None:
+                 stat_attrs: Optional[Sequence[str]] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 metrics_labels: Optional[Dict[str, str]] = None) -> None:
         self.table = table
         self.agg_attr = agg_attr
         self.predicate_attrs = tuple(predicate_attrs)
@@ -320,6 +324,23 @@ class JanusAQP:
         self._pred_idx = [table.col_index(a) for a in self.predicate_attrs]
         self._agg_idx = table.col_index(agg_attr)
         self._lock = threading.RLock()
+
+        #: Stall instrumentation (ROADMAP item 5 is gated on these
+        #: series): histograms over reoptimize / lock-held reoptimize /
+        #: per-batch ingest durations.  A sharded engine passes its own
+        #: registry plus a ``shard`` label so every shard's stalls land
+        #: on one ``/metrics`` page; standalone engines get a private
+        #: registry.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        labels = dict(metrics_labels or {})
+        self._h_reopt = self.metrics.histogram(
+            "janus_engine_reoptimize_seconds", **labels)
+        self._h_reopt_blocking = self.metrics.histogram(
+            "janus_engine_reopt_blocking_seconds", **labels)
+        self._h_ingest_stall = self.metrics.histogram(
+            "janus_engine_ingest_stall_seconds", **labels)
+        self._h_repartition = self.metrics.histogram(
+            "janus_engine_repartition_seconds", **labels)
 
         # Per-attribute sketch bank (repro.sketch): one sketch per kind,
         # seeded from whatever rows the table already holds and then
@@ -412,8 +433,10 @@ class JanusAQP:
             domains = [self.table.domain(a) for a in self.predicate_attrs]
 
         def work() -> None:
+            t_work = time.perf_counter()
             spec = self._partition_snapshot(coords, values, tids, n_pop,
                                             domains)
+            t_block = time.perf_counter()
             with self._lock:                     # phase 2: blocking swap
                 self._install(spec)
                 target = max(self.config.min_pool,
@@ -424,6 +447,7 @@ class JanusAQP:
                 n0 = len(self.table)
                 self.n_repartitions += 1
                 self.data_epoch += 1
+            self._h_reopt_blocking.observe(time.perf_counter() - t_block)
             goal = catchup_goal if catchup_goal is not None else \
                 int(self.config.catchup_rate * n0)
             goal = min(goal, snapshot.size)
@@ -439,6 +463,7 @@ class JanusAQP:
             with self._lock:
                 if self.trigger is not None:
                     self.trigger.rebase(self.dpt)
+            self._h_reopt.observe(time.perf_counter() - t_work)
 
         thread = threading.Thread(target=work, daemon=True,
                                   name="janus-reoptimize")
@@ -488,6 +513,7 @@ class JanusAQP:
         t1 = time.perf_counter()
         self._install(spec)
         report.blocking_seconds = time.perf_counter() - t1
+        self._h_reopt_blocking.observe(report.blocking_seconds)
         # Phase 4: resample a fresh pool sized to the *current* data
         # ("the system resamples a uniform sample of data from archival
         # storage to be the new pooled reservoir sample").
@@ -505,6 +531,7 @@ class JanusAQP:
             self.trigger.rebase(self.dpt)
         self.data_epoch += 1
         self.last_reopt = report
+        self._h_reopt.observe(time.perf_counter() - t0)
         return report
 
     def _compute_partitioning(self) -> PartitionNode:
@@ -625,6 +652,7 @@ class JanusAQP:
             return []   # accept (), (0,) and (0, d) empty batches
         if rows.ndim != 2:
             raise ValueError("rows must be a 2-D (n, n_attrs) array")
+        t0 = time.perf_counter()
         with self._lock:
             tids = self.table.insert_many(rows)
             leaf_of = self.dpt.insert_rows(rows) if self.dpt else None
@@ -637,7 +665,10 @@ class JanusAQP:
             self.data_epoch += 1
             if leaf_of is not None:
                 self._after_update_batch(leaf_of)
-            return tids
+        # Wait-for-lock + hold time: how long this batch stalled other
+        # lock holders (queries, reoptimize phase 2).
+        self._h_ingest_stall.observe(time.perf_counter() - t0)
+        return tids
 
     def _maybe_grow_pool(self) -> None:
         """Track the paper's standing pool size 2m = 2 * rate * |D|.
@@ -666,6 +697,7 @@ class JanusAQP:
         tids = [int(t) for t in tids]
         if not tids:
             return
+        t0 = time.perf_counter()
         with self._lock:
             rows = self.table.delete_many(tids)
             leaf_of = self.dpt.delete_rows(rows) if self.dpt else None
@@ -677,6 +709,7 @@ class JanusAQP:
             self.data_epoch += 1
             if leaf_of is not None:
                 self._after_update_batch(leaf_of)
+        self._h_ingest_stall.observe(time.perf_counter() - t0)
 
     def _after_update_batch(self, leaf_of: np.ndarray) -> None:
         if self.trigger is None:
@@ -719,7 +752,8 @@ class JanusAQP:
         """Answer from the synopsis only (zero base-table access)."""
         return self.query_many((query,))[0]
 
-    def query_many(self, queries: Sequence[Query]) -> List[QueryResult]:
+    def query_many(self, queries: Sequence[Query],
+                   obs: Optional[TraceContext] = None) -> List[QueryResult]:
         """Answer a query batch under one lock with shared passes.
 
         The batch shares one frontier traversal and one broadcasted
@@ -727,12 +761,15 @@ class JanusAQP:
         :meth:`~repro.core.dpt.DynamicPartitionTree.query_many`); the
         per-query estimation is a pure function of each query's own
         inputs, so results are identical to a sequential
-        :meth:`query` loop, in request order.
+        :meth:`query` loop, in request order.  ``obs`` (a sampled trace
+        context) adds an ``engine_execute`` span covering the locked
+        section; it never changes the answers.
         """
         queries = list(queries)
         if not queries:
             return []
-        with self._lock:
+        with maybe_span(obs, "engine_execute", n_queries=len(queries)), \
+                self._lock:
             sketch_at = {qi: self._sketch_answer(q)
                          for qi, q in enumerate(queries)
                          if q.agg in SKETCH_AGGS}

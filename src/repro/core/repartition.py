@@ -104,8 +104,14 @@ def partial_repartition(janus, leaf: DPTNode, psi: int = 2
     # a bare `janus.data_epoch += 1` here would race the locked
     # read-modify-write cycles of the ingest paths (janus-lint JL102).
     janus.bump_epoch()
-    return PartialRepartitionReport(u.node_id, l_u, n_seed,
-                                    time.perf_counter() - t0)
+    report = PartialRepartitionReport(u.node_id, l_u, n_seed,
+                                      time.perf_counter() - t0)
+    # getattr: tests drive this with bare engine stand-ins that lack
+    # the metrics instruments.
+    hist = getattr(janus, "_h_repartition", None)
+    if hist is not None:
+        hist.observe(report.seconds)
+    return report
 
 
 def auto_partial_repartition(janus, leaf: DPTNode, max_psi: int = 6,

@@ -51,6 +51,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
+
 __all__ = ["ShardSummary", "RoutingStats", "DEFAULT_BINS",
            "plan_contributors", "plan_query_subsets"]
 
@@ -220,6 +222,29 @@ class ShardSummary:
             may &= (csum[j, i1 + 1] - csum[j, i0]) > 0
         return may
 
+    def classify(self, lo: np.ndarray, hi: np.ndarray) -> str:
+        """EXPLAIN-only reason code for one query rectangle.
+
+        Mirrors :meth:`may_contain_many`'s decision on a single
+        ``(n_attrs,)`` rectangle, but reports *which* signal decided:
+        ``"no-live-rows"``, ``"unsummarized"`` (tainted or no edges
+        yet - never pruned), ``"bounds-disjoint"``,
+        ``"histogram-empty"`` or ``"contributing"``.  Reads lock-free
+        with the same one-sided caveats as the planner; not used on
+        the answer path.
+        """
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        if self.n_live <= 0:  # lock-free-read: one-sided planner probe
+            return "no-live-rows"
+        if self.tainted or self.edges is None:  # lock-free-read: one-sided planner probe
+            return "unsummarized"
+        if not self.may_contain_many(lo[None, :], hi[None, :])[0]:
+            if ((hi < self.lo) | (lo > self.hi)).any():  # lock-free-read: one-sided planner probe
+                return "bounds-disjoint"
+            return "histogram-empty"
+        return "contributing"
+
     # ------------------------------------------------------------------ #
     # persistence (manifest payloads; see core/persist.py)
     # ------------------------------------------------------------------ #
@@ -264,16 +289,28 @@ class RoutingStats:
     shards; ``n_pruned_shard_queries`` counts (query, shard) pairs the
     router proved empty and never dispatched (broadcast-mode queries
     still count their prunes: the merge skipped those answers).
+
+    Registry-backed: the counts live in ``janus_routing_*``
+    instruments (pass the owning engine's registry so they surface on
+    ``/metrics``); the historical attribute surface remains as
+    read-only properties and ``to_dict`` keeps its exact shape.
     """
 
-    def __init__(self, n_shards: int) -> None:
-        self._lock = threading.Lock()
+    def __init__(self, n_shards: int,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.n_shards = int(n_shards)
-        self.n_queries = 0  # guarded-by: _lock
-        self.n_routed_queries = 0  # guarded-by: _lock
-        self.n_broadcast_queries = 0  # guarded-by: _lock
-        self.n_pruned_shard_queries = 0  # guarded-by: _lock
-        self.shards_touched = [0] * (self.n_shards + 1)  # guarded-by: _lock
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._c_queries = registry.counter("janus_routing_queries_total")
+        self._c_routed = registry.counter(
+            "janus_routing_routed_queries_total")
+        self._c_broadcast = registry.counter(
+            "janus_routing_broadcast_queries_total")
+        self._c_pruned = registry.counter(
+            "janus_routing_pruned_shard_queries_total")
+        self._c_touched = [
+            registry.counter("janus_routing_shards_touched_total",
+                             shards=str(k))
+            for k in range(self.n_shards + 1)]
 
     def record(self, touched: Sequence[int], n_live: int,
                routed: bool) -> None:
@@ -283,29 +320,48 @@ class RoutingStats:
                              minlength=self.n_shards + 1)
         nq = int(touched.shape[0])
         pruned = int(nq * n_live - touched.sum())
-        with self._lock:
-            self.n_queries += nq
-            self.n_pruned_shard_queries += max(0, pruned)
-            for k, c in enumerate(counts):
-                self.shards_touched[k] += int(c)
-            if routed:
-                self.n_routed_queries += nq
-            else:
-                self.n_broadcast_queries += nq
+        self._c_queries.inc(nq)
+        self._c_pruned.inc(max(0, pruned))
+        for k, c in enumerate(counts):
+            if c:
+                self._c_touched[k].inc(int(c))
+        if routed:
+            self._c_routed.inc(nq)
+        else:
+            self._c_broadcast.inc(nq)
+
+    @property
+    def n_queries(self) -> int:
+        return int(self._c_queries.value)
+
+    @property
+    def n_routed_queries(self) -> int:
+        return int(self._c_routed.value)
+
+    @property
+    def n_broadcast_queries(self) -> int:
+        return int(self._c_broadcast.value)
+
+    @property
+    def n_pruned_shard_queries(self) -> int:
+        return int(self._c_pruned.value)
+
+    @property
+    def shards_touched(self) -> List[int]:
+        return [int(c.value) for c in self._c_touched]
 
     def to_dict(self) -> Dict[str, object]:
-        with self._lock:
-            total = max(1, self.n_queries)
-            weighted = sum(k * c for k, c in
-                           enumerate(self.shards_touched))
-            return {
-                "n_queries": self.n_queries,
-                "n_routed_queries": self.n_routed_queries,
-                "n_broadcast_queries": self.n_broadcast_queries,
-                "n_pruned_shard_queries": self.n_pruned_shard_queries,
-                "shards_touched_hist": list(self.shards_touched),
-                "mean_shards_touched": weighted / total,
-            }
+        hist = self.shards_touched
+        total = max(1, self.n_queries)
+        weighted = sum(k * c for k, c in enumerate(hist))
+        return {
+            "n_queries": self.n_queries,
+            "n_routed_queries": self.n_routed_queries,
+            "n_broadcast_queries": self.n_broadcast_queries,
+            "n_pruned_shard_queries": self.n_pruned_shard_queries,
+            "shards_touched_hist": hist,
+            "mean_shards_touched": weighted / total,
+        }
 
 
 def plan_contributors(summaries: Sequence[Optional[ShardSummary]],

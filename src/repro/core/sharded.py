@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -58,6 +59,8 @@ import math
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceContext, maybe_span
 from .janus import JanusAQP, JanusConfig, ReoptReport
 from .merge import merge_planned
 from .placement import (grow_tid_maps, place_batch, stagger_trigger,
@@ -171,6 +174,11 @@ class ShardedJanusAQP:
         self.config = config or JanusConfig()
         self.sharding = sharding
         self.range_block = int(range_block)
+        #: One registry for the whole fleet: every shard engine labels
+        #: its stall histograms with ``shard=<id>`` here, and the router
+        #: counters land beside them, so a single exposition covers the
+        #: coordinator end to end.
+        self.metrics = MetricsRegistry()
         self.tables: List[Table] = []
         self.shards: List[JanusAQP] = []
         for s in range(self.n_shards):
@@ -179,7 +187,8 @@ class ShardedJanusAQP:
             self.shards.append(JanusAQP(
                 table, agg_attr, predicate_attrs,
                 config=replace(self.config, seed=self.config.seed + s),
-                stat_attrs=stat_attrs))
+                stat_attrs=stat_attrs, metrics=self.metrics,
+                metrics_labels={"shard": str(s)}))
         #: Attributes every shard tracks statistics for (uniform across
         #: the fleet) - the same template surface JanusAQP exposes.
         self.stat_attrs = self.shards[0].stat_attrs
@@ -209,7 +218,10 @@ class ShardedJanusAQP:
         self.summaries: List[ShardSummary] = [
             ShardSummary(len(self.predicate_attrs))
             for _ in range(self.n_shards)]
-        self._routing_stats = RoutingStats(self.n_shards)
+        self._routing_stats = RoutingStats(self.n_shards,
+                                           metrics=self.metrics)
+        self._h_rebalance = self.metrics.histogram(
+            "janus_engine_rebalance_seconds")
         #: Default :meth:`query_many` mode; ``route=...`` overrides per
         #: call (the benchmark's broadcast baseline passes ``False``).
         self.route_queries = True
@@ -523,7 +535,8 @@ class ShardedJanusAQP:
         return self.query_many((query,))[0]
 
     def query_many(self, queries: Sequence[Query],
-                   route: Optional[bool] = None) -> List[QueryResult]:
+                   route: Optional[bool] = None,
+                   obs: Optional[TraceContext] = None) -> List[QueryResult]:
         """Answer a query batch: plan, dispatch, merge per query.
 
         The router intersects each query's predicate rectangle with the
@@ -553,22 +566,44 @@ class ShardedJanusAQP:
                 if self.shards[s].dpt is not None]
         if not live:
             raise RuntimeError("synopsis not initialized")
-        subsets = self._plan(queries, live)
+        with maybe_span(obs, "plan", n_queries=len(queries)):
+            subsets = self._plan(queries, live)
         self._routing_stats.record([len(c) for c in subsets], len(live),
                                    route)
+        if obs is not None:
+            obs.note("subsets", [list(c) for c in subsets])
+            obs.note("live", list(live))
+            obs.note("routed", route)
         if route:
             first = subsets[0]
             if len(first) == 1 and all(c == first for c in subsets):
-                return list(self.shards[first[0]].query_many(queries))
-            get = self._dispatch_routed(queries, subsets, live)
+                with maybe_span(obs, "execute") as ex:
+                    with maybe_span(obs, "shard_execute",
+                                    parent=ex["id"] if ex else None,
+                                    shard=first[0],
+                                    n_queries=len(queries)):
+                        return list(self.shards[first[0]].query_many(
+                            queries, obs=obs))
+            with maybe_span(obs, "execute") as ex:
+                get = self._dispatch_routed(
+                    queries, subsets, live, obs=obs,
+                    parent=ex["id"] if ex else None)
         else:
-            per_shard = self._fan_out(
-                lambda s: self.shards[s].query_many(queries), live)
+            with maybe_span(obs, "execute") as ex:
+                parent = ex["id"] if ex else None
+
+                def broadcast(s: int) -> List[QueryResult]:
+                    with maybe_span(obs, "shard_execute", parent=parent,
+                                    shard=s, n_queries=len(queries)):
+                        return self.shards[s].query_many(queries, obs=obs)
+
+                per_shard = self._fan_out(broadcast, live)
             of_shard = dict(zip(live, per_shard))
             get = lambda s, qi: of_shard[s][qi]
         empties = [len(t) == 0 for t in self.tables]
-        return merge_planned(queries, subsets, get,
-                             lambda s: empties[s])
+        with maybe_span(obs, "merge"):
+            return merge_planned(queries, subsets, get,
+                                 lambda s: empties[s])
 
     def _plan(self, queries: Sequence[Query],
               live: Sequence[int]) -> List[List[int]]:
@@ -584,7 +619,9 @@ class ShardedJanusAQP:
 
     def _dispatch_routed(self, queries: Sequence[Query],
                          subsets: Sequence[Sequence[int]],
-                         live: Sequence[int]):
+                         live: Sequence[int],
+                         obs: Optional[TraceContext] = None,
+                         parent: Optional[int] = None):
         """Issue one sub-batched ``query_many`` per contributing shard.
 
         Returns a ``get(shard, query_index)`` lookup over the answers.
@@ -594,10 +631,17 @@ class ShardedJanusAQP:
             for s in contrib:
                 by_shard[s].append(qi)
         work = [(s, qis) for s, qis in by_shard.items() if qis]
-        batches = self._fan_out(
-            lambda w: self.shards[work[w][0]].query_many(
-                [queries[qi] for qi in work[w][1]]),
-            range(len(work)))
+
+        def run(w: int) -> List[QueryResult]:
+            s, qis = work[w]
+            # Explicit parent: fan-out threads have no implicit span
+            # stack, and the execute span lives on the caller's thread.
+            with maybe_span(obs, "shard_execute", parent=parent, shard=s,
+                            n_queries=len(qis)):
+                return self.shards[s].query_many(
+                    [queries[qi] for qi in qis], obs=obs)
+
+        batches = self._fan_out(run, range(len(work)))
         answers = {}
         for (s, qis), batch in zip(work, batches):
             for pos, qi in enumerate(qis):
@@ -630,6 +674,7 @@ class ShardedJanusAQP:
         """
         if not (0 <= dst < self.n_shards):
             raise ValueError(f"destination shard {dst} does not exist")
+        t0 = time.perf_counter()
         # The whole move holds the coordinator map lock: the routing
         # tables must not change between reading who owns a tid and
         # rewriting that ownership, or a concurrent delete would turn
@@ -669,6 +714,7 @@ class ShardedJanusAQP:
                 self._refresh_summary(s)
         if reoptimize_dst and self.shards[dst].dpt is not None:
             self.shards[dst].reoptimize()
+        self._h_rebalance.observe(time.perf_counter() - t0)
         return int(moving.size)
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,47 @@
+"""Observability: unified metrics registry, request tracing, JSON logs.
+
+Stdlib-only (no numpy) so the fleet workers and the broker can import
+it without pulling the engine in.  Three modules:
+
+``obs.metrics``
+    Named counters, gauges and fixed-bucket latency histograms behind
+    one :class:`MetricsRegistry`; every metric name lives in the
+    canonical ``CATALOG`` table (enforced at runtime and by the
+    janus-lint ``obs-metrics`` pass, JL601/JL602).  Prometheus text
+    exposition via :func:`render_exposition`, validated by the
+    :func:`parse_exposition` parser the tests and CI smoke job use.
+
+``obs.trace``
+    Span-based request tracing.  A :class:`Tracer` samples 1-in-N
+    requests (deterministic counter, no RNG), minting a trace id at
+    the HTTP front door or accepting one from an ``X-Janus-Trace``
+    header; a :class:`TraceContext` collects spans across threads and
+    across the fleet wire, and completed traces land in a bounded
+    ring buffer served at ``/debug/traces``.
+
+``obs.logs``
+    :func:`log_event` - one structured JSON line per event (slow
+    queries, fleet worker restarts).
+"""
+
+from .logs import log_event
+from .metrics import (CATALOG, Counter, Gauge, Histogram, MetricsRegistry,
+                      parse_exposition, render_exposition)
+from .trace import (TraceContext, Tracer, decode_spans, encode_spans,
+                    maybe_span)
+
+__all__ = [
+    "CATALOG",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_exposition",
+    "render_exposition",
+    "TraceContext",
+    "Tracer",
+    "decode_spans",
+    "encode_spans",
+    "maybe_span",
+    "log_event",
+]

@@ -1,0 +1,32 @@
+"""Structured one-line JSON event logs.
+
+One event per line, compact separators, flushed immediately - the
+format machines grep and humans can still read.  Used for the
+slow-query log and fleet worker-restart records; tests capture the
+stream with ``io.StringIO``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import IO, Optional
+
+__all__ = ["log_event"]
+
+
+def log_event(stream: Optional[IO[str]], event: str,
+              **fields: object) -> None:
+    """Write ``{"ts": ..., "event": ..., **fields}`` as one line.
+
+    ``stream=None`` falls back to ``sys.stderr`` (resolved at call
+    time so test monkeypatching works).  Non-JSON values are
+    stringified rather than raised on - a log line must never take
+    the serving path down.
+    """
+    record = {"ts": round(time.time(), 6), "event": str(event)}
+    record.update(fields)
+    out = stream if stream is not None else sys.stderr
+    print(json.dumps(record, separators=(",", ":"), default=str,
+                     sort_keys=False), file=out, flush=True)

@@ -12,8 +12,11 @@ client-facing AQP service, stdlib only:
   cache invalidated structurally by the engines' ``data_epoch``;
 * :mod:`~repro.service.server` / :mod:`~repro.service.client` - the
   asyncio HTTP/1.1 server (``/query``, ``/sql``, ``/insert``,
-  ``/delete``, ``/stats``, ``/metrics``) and the thin synchronous
-  client the tests and benchmark drive it with;
+  ``/delete``, ``/stats``, ``/metrics``, ``/debug/traces``) and the
+  thin synchronous client the tests and benchmark drive it with -
+  metrics ride the shared :mod:`repro.obs` registry, reads are
+  span-traced at 1-in-N sampling, and ``"explain": true`` returns
+  per-stage timings plus the routing decision;
 * :mod:`~repro.service.fleet` / :mod:`~repro.service.worker` - the
   process-per-shard serving fleet (``--workers N``): one supervised
   worker process per shard behind a binary frame protocol

@@ -70,6 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="result-cache entries per template")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache entirely")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        help="log a one-line JSON event for any "
+                             "/query or /sql slower than this many "
+                             "milliseconds")
+    parser.add_argument("--trace-sample", type=int, default=64,
+                        help="trace 1 in N read requests (0 disables "
+                             "sampling; explain and X-Janus-Trace "
+                             "still trace)")
     return parser
 
 
@@ -146,10 +154,13 @@ async def serve(args: argparse.Namespace) -> None:
                        max_batch=args.max_batch,
                        max_linger_ms=args.linger_ms,
                        cache_size=args.cache_size,
-                       cache_enabled=not args.no_cache)
+                       cache_enabled=not args.no_cache,
+                       slow_query_ms=args.slow_query_ms,
+                       trace_sample=args.trace_sample)
     host, port = await server.start()
     print(f"serving on http://{host}:{port}  "
-          f"(routes: /query /sql /insert /delete /stats /metrics)")
+          f"(routes: /query /sql /insert /delete /stats /metrics "
+          f"/debug/traces)")
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGINT, signal.SIGTERM):

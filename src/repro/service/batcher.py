@@ -32,6 +32,7 @@ import asyncio
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.queries import Query, QueryResult
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["BatcherStats", "MicroBatcher"]
 
@@ -39,29 +40,71 @@ ExecuteFn = Callable[[List[Query]], List[QueryResult]]
 
 
 class BatcherStats:
-    """Flush accounting reported by ``/stats`` and ``/metrics``."""
+    """Flush accounting reported by ``/stats`` and ``/metrics``.
 
-    __slots__ = ("n_batches", "n_queries", "max_batch_size",
-                 "n_flush_full", "n_flush_linger", "n_isolated")
+    Registry-backed: counts live in ``janus_service_batch*``
+    instruments; the historical attribute surface stays as properties
+    (``max_batch_size`` keeps its setter - the latency benchmark
+    resets it between phases).
+    """
 
-    def __init__(self) -> None:
-        self.n_batches = 0
-        self.n_queries = 0
-        self.max_batch_size = 0
-        self.n_flush_full = 0      # flushed because max_batch filled
-        self.n_flush_linger = 0    # flushed by the linger deadline
-        self.n_isolated = 0        # re-run solo after a poisoned batch
+    __slots__ = ("_c_batches", "_c_queries", "_g_max", "_c_full",
+                 "_c_linger", "_c_isolated")
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._c_batches = registry.counter("janus_service_batches_total")
+        self._c_queries = registry.counter(
+            "janus_service_batched_queries_total")
+        self._g_max = registry.gauge("janus_service_batch_max_size")
+        # flushed because max_batch filled
+        self._c_full = registry.counter(
+            "janus_service_batch_flush_full_total")
+        # flushed by the linger deadline
+        self._c_linger = registry.counter(
+            "janus_service_batch_flush_linger_total")
+        # re-run solo after a poisoned batch
+        self._c_isolated = registry.counter(
+            "janus_service_batch_isolated_total")
 
     def record(self, size: int, reason: str) -> None:
-        self.n_batches += 1
-        self.n_queries += size
-        self.max_batch_size = max(self.max_batch_size, size)
+        self._c_batches.inc()
+        self._c_queries.inc(size)
+        self._g_max.set(max(self._g_max.value, size))
         if reason == "full":
-            self.n_flush_full += 1
+            self._c_full.inc()
         elif reason == "isolated":
-            self.n_isolated += 1
+            self._c_isolated.inc()
         else:
-            self.n_flush_linger += 1
+            self._c_linger.inc()
+
+    @property
+    def n_batches(self) -> int:
+        return int(self._c_batches.value)
+
+    @property
+    def n_queries(self) -> int:
+        return int(self._c_queries.value)
+
+    @property
+    def max_batch_size(self) -> int:
+        return int(self._g_max.value)
+
+    @max_batch_size.setter
+    def max_batch_size(self, value: int) -> None:
+        self._g_max.set(int(value))
+
+    @property
+    def n_flush_full(self) -> int:
+        return int(self._c_full.value)
+
+    @property
+    def n_flush_linger(self) -> int:
+        return int(self._c_linger.value)
+
+    @property
+    def n_isolated(self) -> int:
+        return int(self._c_isolated.value)
 
     @property
     def avg_batch_size(self) -> float:
@@ -88,7 +131,8 @@ class MicroBatcher:
 
     def __init__(self, execute: ExecuteFn, max_batch: int = 64,
                  max_linger_ms: float = 2.0,
-                 executor=None) -> None:
+                 executor=None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_linger_ms < 0:
@@ -101,7 +145,7 @@ class MicroBatcher:
         self._timer: Optional[asyncio.Task] = None
         self._inflight: set = set()
         self._closed = False
-        self.stats = BatcherStats()
+        self.stats = BatcherStats(metrics)
 
     # ------------------------------------------------------------------ #
     # admission

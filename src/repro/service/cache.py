@@ -36,6 +36,7 @@ from typing import Dict, Optional, Tuple
 
 from ..core.queries import Query, QueryResult
 from ..core.templates import TemplateKey, template_key
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["CacheStats", "ResultCache", "cache_key"]
 
@@ -55,17 +56,64 @@ def cache_key(query: Query) -> QueryKey:
 
 
 class CacheStats:
-    """Counters reported by ``/stats`` and ``/metrics``."""
+    """Counters reported by ``/stats`` and ``/metrics``.
 
-    __slots__ = ("hits", "misses", "stores", "rejected_stores",
-                 "evictions")
+    Registry-backed: the counts live in ``janus_service_cache_*``
+    instruments (shared with the server's ``/metrics`` page when the
+    owning cache is given the server's registry); the historical
+    attribute surface (``stats.hits`` etc.) remains as read-only
+    properties.
+    """
 
-    def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
-        self.rejected_stores = 0    # epoch moved while query in flight
-        self.evictions = 0
+    __slots__ = ("_hits", "_misses", "_stores", "_rejected", "_evicted")
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._hits = registry.counter("janus_service_cache_hits_total")
+        self._misses = registry.counter(
+            "janus_service_cache_misses_total")
+        self._stores = registry.counter(
+            "janus_service_cache_stores_total")
+        # epoch moved while query in flight
+        self._rejected = registry.counter(
+            "janus_service_cache_rejected_stores_total")
+        self._evicted = registry.counter(
+            "janus_service_cache_evictions_total")
+
+    def note_hit(self) -> None:
+        self._hits.inc()
+
+    def note_miss(self) -> None:
+        self._misses.inc()
+
+    def note_store(self) -> None:
+        self._stores.inc()
+
+    def note_rejected_store(self) -> None:
+        self._rejected.inc()
+
+    def note_eviction(self) -> None:
+        self._evicted.inc()
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @property
+    def stores(self) -> int:
+        return int(self._stores.value)
+
+    @property
+    def rejected_stores(self) -> int:
+        return int(self._rejected.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evicted.value)
 
     @property
     def hit_ratio(self) -> float:
@@ -90,12 +138,13 @@ class ResultCache:
     """
 
     def __init__(self, per_template: int = 256,
-                 enabled: bool = True) -> None:
+                 enabled: bool = True,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if per_template < 1:
             raise ValueError("per_template must be >= 1")
         self.per_template = int(per_template)
         self.enabled = bool(enabled)
-        self.stats = CacheStats()  # guarded-by: _lock
+        self.stats = CacheStats(metrics)  # thread-safe instruments
         self._lock = threading.Lock()
         self._lru: Dict[TemplateKey,  # guarded-by: _lock
                         "OrderedDict[Tuple[int, QueryKey], QueryResult]"
@@ -118,10 +167,10 @@ class ResultCache:
             lru = self._lru.get(template_key(query))
             result = lru.get(key) if lru is not None else None
             if result is None:
-                self.stats.misses += 1
+                self.stats.note_miss()
                 return None
             lru.move_to_end(key)
-            self.stats.hits += 1
+            self.stats.note_hit()
             return result
 
     def store(self, query: Query, result: QueryResult,
@@ -136,18 +185,17 @@ class ResultCache:
         if not self.enabled:
             return False
         if int(epoch_before) != int(epoch_after):
-            with self._lock:
-                self.stats.rejected_stores += 1
+            self.stats.note_rejected_store()
             return False
         key = (int(epoch_after), cache_key(query))
         with self._lock:
             lru = self._lru.setdefault(template_key(query), OrderedDict())
             lru[key] = result
             lru.move_to_end(key)
-            self.stats.stores += 1
+            self.stats.note_store()
             while len(lru) > self.per_template:
                 lru.popitem(last=False)
-                self.stats.evictions += 1
+                self.stats.note_eviction()
         return True
 
     def clear(self) -> None:

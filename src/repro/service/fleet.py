@@ -58,9 +58,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..broker.frames import (OP_DELETE, OP_ERR, OP_INSERT, OP_PING,
-                             OP_QUERY, OP_REOPT, OP_SHUTDOWN, OP_STATS,
-                             OP_SUMMARY, RESULT_DTYPE,
+from ..broker.frames import (HEADER, OP_DELETE, OP_ERR, OP_INSERT,
+                             OP_PING, OP_QUERY, OP_REOPT, OP_SHUTDOWN,
+                             OP_STATS, OP_SUMMARY, RESULT_DTYPE,
                              attach_sketch_frames, decode_result_block,
                              decode_sketch_block, recv_frame,
                              send_frame, split_reply)
@@ -71,6 +71,9 @@ from ..core.queries import Query, QueryResult
 from ..core.routing import (RoutingStats, ShardSummary,
                             plan_query_subsets)
 from ..core.persist import read_sharded_manifest
+from ..obs.logs import log_event
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceContext, decode_spans, maybe_span
 
 __all__ = ["FleetCoordinator", "FleetUnavailableError", "RemoteShard"]
 
@@ -109,7 +112,8 @@ class RemoteShard:
     """
 
     def __init__(self, snapshot: Union[str, Path], shard_id: int,
-                 timeout: float = 120.0) -> None:
+                 timeout: float = 120.0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.snapshot = Path(snapshot)
         self.shard_id = int(shard_id)
         self.timeout = float(timeout)
@@ -117,10 +121,20 @@ class RemoteShard:
         self._proc: Optional[subprocess.Popen] = None
         self._sock: Optional[socket.socket] = None
         self._down = True  # lock-free-read: one-way until spawn/destroy
-        self.n_requests = 0  # guarded-by: _io_lock
-        self.bytes_sent = 0  # guarded-by: _io_lock
-        self.bytes_received = 0  # guarded-by: _io_lock
-        self.latencies: List[float] = []  # guarded-by: _io_lock
+        # Wire counters live in the (thread-safe) metrics registry;
+        # passing the coordinator's registry means a restarted
+        # worker's fresh handle keeps accumulating into the same
+        # per-shard-slot series.
+        registry = metrics if metrics is not None else MetricsRegistry()
+        label = str(self.shard_id)
+        self._c_requests = registry.counter(
+            "janus_fleet_worker_requests_total", worker=label)
+        self._c_bytes_sent = registry.counter(
+            "janus_fleet_worker_bytes_sent_total", worker=label)
+        self._c_bytes_received = registry.counter(
+            "janus_fleet_worker_bytes_received_total", worker=label)
+        self._h_latency = registry.histogram(
+            "janus_fleet_worker_request_seconds", worker=label)
 
     def spawn(self) -> None:
         """Start the worker process and hand it its socketpair end."""
@@ -149,48 +163,70 @@ class RemoteShard:
         return (not self._down and proc is not None
                 and proc.poll() is None)
 
-    def request(self, opcode: int, meta: int = 0, bufs: Sequence = ()
-                ) -> Tuple[int, int, memoryview]:
-        """One round trip: returns ``(reply_meta, epoch, body)``.
+    def request(self, opcode: int, meta: int = 0, bufs: Sequence = (),
+                trace: Optional[Tuple[int, int]] = None
+                ) -> Tuple[int, int, memoryview, bytes]:
+        """One round trip: returns ``(reply_meta, epoch, body, spans)``.
 
+        ``trace`` is an optional ``(trace_id, parent_span_id)`` pair
+        stamped into the request header; a traced OP_QUERY reply
+        carries back a JSON span sidecar (its byte length rides the
+        reply header's ``span`` field), returned stripped from
+        ``body`` as the ``spans`` element (``b""`` when untraced).
         Raises :class:`_WorkerDied` on any transport failure (and
         marks the handle down for the supervisor); re-raises typed
         application errors the worker shipped in an ERR frame.
         """
+        trace_id, parent_span = trace if trace is not None else (0, 0)
         with self._io_lock:
             if self._down or self._sock is None:
                 raise _WorkerDied(f"worker {self.shard_id} is down")
             start = time.monotonic()
             try:
-                sent = send_frame(self._sock, opcode, meta, bufs)
-                r_op, r_meta, payload = recv_frame(self._sock)
+                sent = send_frame(self._sock, opcode, meta, bufs,
+                                  trace_id=trace_id, span=parent_span)
+                r_op, r_meta, payload, _r_trace, r_span = \
+                    recv_frame(self._sock)
             except (OSError, EOFError, ValueError) as exc:
                 self._down = True
                 raise _WorkerDied(
                     f"worker {self.shard_id} transport failed: "
                     f"{exc}") from exc
-            self.n_requests += 1
-            self.bytes_sent += sent
-            self.bytes_received += 13 + len(payload)
-            self.latencies.append(time.monotonic() - start)
-            if len(self.latencies) > 1024:
-                del self.latencies[:512]
+            self._c_requests.inc()
+            self._c_bytes_sent.inc(sent)
+            self._c_bytes_received.inc(HEADER.size + len(payload))
+            self._h_latency.observe(time.monotonic() - start)
         if r_op == OP_ERR:
             name, _, msg = bytes(payload).decode("utf-8").partition("\n")
             raise _EXC_TYPES.get(name, RuntimeError)(msg)
         epoch, body = split_reply(payload)
-        return r_meta, epoch, body
+        spans = b""
+        if r_span:
+            spans = bytes(body[-r_span:])
+            body = body[:-r_span]
+        return r_meta, epoch, body, spans
+
+    # Mirror the pre-registry attribute surface for /stats readers.
+    @property
+    def n_requests(self) -> int:
+        return int(self._c_requests.value)
+
+    @property
+    def bytes_sent(self) -> int:
+        return int(self._c_bytes_sent.value)
+
+    @property
+    def bytes_received(self) -> int:
+        return int(self._c_bytes_received.value)
 
     def counters(self) -> Dict[str, object]:
         """Wire counters for ``/metrics`` (p50 over recent requests)."""
-        with self._io_lock:
-            lat = sorted(self.latencies)
-            return {
-                "requests": self.n_requests,
-                "bytes_sent": self.bytes_sent,
-                "bytes_received": self.bytes_received,
-                "p50_seconds": lat[len(lat) // 2] if lat else 0.0,
-            }
+        return {
+            "requests": self.n_requests,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "p50_seconds": self._h_latency.percentile(0.5),
+        }
 
     def destroy(self, graceful: bool = True) -> None:
         """Tear the worker down (idempotent)."""
@@ -255,13 +291,17 @@ class FleetCoordinator:
     supervise:
         Disableable for tests that drive :meth:`check_workers`
         manually.
+    log_stream:
+        Destination for structured one-line JSON event logs (worker
+        restarts); ``None`` means ``sys.stderr``.
     """
 
     def __init__(self, snapshot_dir: Union[str, Path],
                  max_workers: Optional[int] = None,
                  supervise_interval: float = 1.0,
                  request_timeout: float = 120.0,
-                 supervise: bool = True) -> None:
+                 supervise: bool = True,
+                 log_stream=None) -> None:
         manifest = read_sharded_manifest(snapshot_dir)
         meta = manifest["meta"]
         self.snapshot_dir = Path(snapshot_dir)
@@ -291,7 +331,13 @@ class FleetCoordinator:
         #: Coordinator-owned routing summaries (planner reads them
         #: lock-free exactly as the in-process engine's planner does).
         self.summaries: List[ShardSummary] = list(manifest["summaries"])
-        self._routing_stats = RoutingStats(self.n_shards)
+        #: One registry for the whole fleet: routing counters, the
+        #: per-worker wire series and restart counts all land here, and
+        #: the serving tier merges it into ``/metrics``.
+        self.metrics = MetricsRegistry()
+        self._log_stream = log_stream
+        self._routing_stats = RoutingStats(self.n_shards,
+                                           metrics=self.metrics)
         self.route_queries = True
 
         self._mirror_lock = threading.RLock()
@@ -315,7 +361,8 @@ class FleetCoordinator:
         self._max_workers = max_workers or min(self.n_shards,
                                                os.cpu_count() or 1)
         self.workers: List[RemoteShard] = [
-            RemoteShard(self.snapshot_dir, s, timeout=request_timeout)
+            RemoteShard(self.snapshot_dir, s, timeout=request_timeout,
+                        metrics=self.metrics)
             for s in range(self.n_shards)]
         for worker in self.workers:
             worker.spawn()
@@ -394,7 +441,7 @@ class FleetCoordinator:
         for s in range(self.n_shards):
             try:
                 with self._shard_locks[s]:
-                    _m, _e, body = self.workers[s].request(OP_STATS)
+                    _m, _e, body, _ = self.workers[s].request(OP_STATS)
             except _WorkerDied:
                 continue
             total += int(json.loads(bytes(body).decode())["pool_size"])
@@ -446,7 +493,7 @@ class FleetCoordinator:
                                   dtype=np.int64)
                 repartitioned = False
                 try:
-                    flag, epoch, body = self.workers[s].request(
+                    flag, epoch, body, _ = self.workers[s].request(
                         OP_INSERT, sub.shape[1], [sub])
                     got = np.frombuffer(body, dtype=np.int64)
                     if not np.array_equal(got, local):
@@ -502,7 +549,7 @@ class FleetCoordinator:
                     self._journals[s].append(("d", local))
                 self.bump_epoch(s)
                 try:
-                    _m, epoch, body = self.workers[s].request(
+                    _m, epoch, body, _ = self.workers[s].request(
                         OP_DELETE, 0, [local])
                     coords = np.frombuffer(body, dtype="<f8").reshape(
                         -1, self._pred_cols.shape[0])
@@ -530,7 +577,8 @@ class FleetCoordinator:
                     self._journals[s].append(("r",))
                 self.bump_epoch(s)
                 try:
-                    flag, epoch, body = self.workers[s].request(OP_REOPT)
+                    flag, epoch, body, _ = \
+                        self.workers[s].request(OP_REOPT)
                     if flag:
                         self._adopt_summary(s, body)
                     self._note_epoch(s, epoch)
@@ -545,7 +593,9 @@ class FleetCoordinator:
         return self.query_many((query,))[0]
 
     def query_many(self, queries: Sequence[Query],
-                   route: Optional[bool] = None) -> List[QueryResult]:
+                   route: Optional[bool] = None,
+                   obs: Optional[TraceContext] = None
+                   ) -> List[QueryResult]:
         """Answer a query batch: plan, dispatch sub-batches, merge.
 
         Identical pipeline to the in-process engine - shared planner,
@@ -554,7 +604,12 @@ class FleetCoordinator:
         answers come back as raw :data:`~repro.broker.frames.RESULT_DTYPE`
         blocks.  A query whose contributing subset includes a dead
         worker raises :class:`FleetUnavailableError`; queries the
-        router proves don't need it still succeed.
+        router proves don't need it still succeed.  ``obs`` is an
+        optional trace context: plan/execute/merge spans are recorded
+        (worker-side spans cross the wire and are grafted under the
+        per-shard ``shard_execute`` span) and the routing decision is
+        noted for the EXPLAIN report.  The answer path is identical
+        with and without ``obs``.
         """
         queries = list(queries)
         if not queries:
@@ -566,49 +621,79 @@ class FleetCoordinator:
             empties = [n == 0 for n in self._n_live]
         if not live:
             raise RuntimeError("synopsis not initialized")
-        subsets = plan_query_subsets(queries, self.predicate_attrs,
-                                     self.summaries, live)
+        with maybe_span(obs, "plan", n_queries=len(queries)):
+            subsets = plan_query_subsets(queries, self.predicate_attrs,
+                                         self.summaries, live)
         self._routing_stats.record([len(c) for c in subsets], len(live),
                                    route)
+        if obs is not None:
+            obs.note("subsets", [list(c) for c in subsets])
+            obs.note("live", list(live))
+            obs.note("routed", bool(route))
         if route:
             first = subsets[0]
             if len(first) == 1 and all(c == first for c in subsets):
-                return self._ask(first[0], queries)
+                with maybe_span(obs, "execute") as ex:
+                    return self._ask(first[0], queries, obs=obs,
+                                     parent=ex["id"] if ex else None)
             by_shard: Dict[int, List[int]] = {s: [] for s in live}
             for qi, contrib in enumerate(subsets):
                 for s in contrib:
                     by_shard[s].append(qi)
             work = [(s, qis) for s, qis in by_shard.items() if qis]
-            batches = self._fan_out(
-                lambda w: self._ask(work[w][0],
-                                    [queries[qi] for qi in work[w][1]]),
-                range(len(work)))
+            with maybe_span(obs, "execute") as ex:
+                parent = ex["id"] if ex else None
+                batches = self._fan_out(
+                    lambda w: self._ask(
+                        work[w][0],
+                        [queries[qi] for qi in work[w][1]],
+                        obs=obs, parent=parent),
+                    range(len(work)))
             answers = {}
             for (s, qis), batch in zip(work, batches):
                 for pos, qi in enumerate(qis):
                     answers[(s, qi)] = batch[pos]
             get = lambda s, qi: answers[(s, qi)]
         else:
-            per_shard = self._fan_out(
-                lambda s: self._ask(s, queries), live)
+            with maybe_span(obs, "execute") as ex:
+                parent = ex["id"] if ex else None
+                per_shard = self._fan_out(
+                    lambda s: self._ask(s, queries, obs=obs,
+                                        parent=parent), live)
             of_shard = dict(zip(live, per_shard))
             get = lambda s, qi: of_shard[s][qi]
-        return merge_planned(queries, subsets, get,
-                             lambda s: empties[s])
+        with maybe_span(obs, "merge"):
+            return merge_planned(queries, subsets, get,
+                                 lambda s: empties[s])
 
-    def _ask(self, s: int, queries: Sequence[Query]
-             ) -> List[QueryResult]:
-        """One shard answers one sub-batch (broker codec over frames)."""
+    def _ask(self, s: int, queries: Sequence[Query],
+             obs: Optional[TraceContext] = None,
+             parent: Optional[int] = None) -> List[QueryResult]:
+        """One shard answers one sub-batch (broker codec over frames).
+
+        Traced requests stamp ``(trace_id, shard_execute span id)``
+        into the frame header; the worker's reply spans come back as a
+        sidecar and are grafted under this call's ``shard_execute``
+        span.  ``parent`` is passed explicitly because fan-out runs on
+        executor threads, where the thread-local parent stack is empty.
+        """
         payload = "\n".join(encode_query(qi, q)
                             for qi, q in enumerate(queries)).encode()
-        with self._shard_locks[s]:
-            try:
-                n, epoch, body = self.workers[s].request(
-                    OP_QUERY, 0, [payload])
-            except _WorkerDied as exc:
-                raise FleetUnavailableError(
-                    f"shard {s} worker is down; the fleet restarts it "
-                    f"within one supervision cycle - retry") from exc
+        with maybe_span(obs, "shard_execute", parent=parent,
+                        shard=s, n_queries=len(queries)) as sp:
+            trace = (obs.trace_id, sp["id"]) if obs is not None else None
+            with self._shard_locks[s]:
+                try:
+                    n, epoch, body, span_blob = self.workers[s].request(
+                        OP_QUERY, 0, [payload], trace=trace)
+                except _WorkerDied as exc:
+                    raise FleetUnavailableError(
+                        f"shard {s} worker is down; the fleet restarts "
+                        f"it within one supervision cycle - retry"
+                    ) from exc
+            if obs is not None and span_blob:
+                obs.add_foreign_spans(decode_spans(span_blob),
+                                      default_parent=sp["id"])
         self._note_epoch(s, epoch)
         # The fixed block is exactly n records; whatever follows is the
         # variable-length sketch sidecar of answers that carry blobs.
@@ -660,7 +745,10 @@ class FleetCoordinator:
                 return False
             self.workers[s].destroy(graceful=False)
             fresh = RemoteShard(self.snapshot_dir, s,
-                                timeout=self.workers[s].timeout)
+                                timeout=self.workers[s].timeout,
+                                metrics=self.metrics)
+            with self._mirror_lock:
+                replayed = len(self._journals[s])
             try:
                 fresh.spawn()
                 self._replay(fresh, s)
@@ -670,6 +758,11 @@ class FleetCoordinator:
             self.workers[s] = fresh
             with self._mirror_lock:
                 self._restarts[s] += 1
+                n_restarts = self._restarts[s]
+            self.metrics.counter("janus_fleet_worker_restarts_total",
+                                 worker=str(s)).inc()
+            log_event(self._log_stream, "worker_restart", shard=s,
+                      restarts=n_restarts, journal_entries=replayed)
         return True
 
     def _replay(self, fresh: RemoteShard, s: int) -> None:
@@ -679,22 +772,21 @@ class FleetCoordinator:
         for entry in entries:
             if entry[0] == "i":
                 sub = entry[1]
-                flag, epoch, body = fresh.request(
-                    OP_INSERT, sub.shape[1], [sub])
+                fresh.request(OP_INSERT, sub.shape[1], [sub])
             elif entry[0] == "d":
                 fresh.request(OP_DELETE, 0, [entry[1]])
             else:
                 fresh.request(OP_REOPT)
         # Post-replay exact summary + epoch resync: the mirror kept
         # counting while the worker was down, so only adopt forward.
-        _m, epoch, body = fresh.request(OP_SUMMARY)
+        _m, epoch, body, _ = fresh.request(OP_SUMMARY)
         self._adopt_summary(s, body)
         self._note_epoch(s, epoch)
 
     def _fetch_summary(self, s: int) -> None:
         try:
             with self._shard_locks[s]:
-                _m, epoch, body = self.workers[s].request(OP_SUMMARY)
+                _m, epoch, body, _ = self.workers[s].request(OP_SUMMARY)
         except _WorkerDied:
             return  # replay's post-restart summary will cover it
         self._adopt_summary(s, body)

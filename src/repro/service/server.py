@@ -28,7 +28,21 @@ Request flow for reads::
 Writes (``/insert`` / ``/delete``) run straight to the engine's batch
 API in the executor and bump ``data_epoch``, which structurally
 invalidates every cached answer.  ``/stats`` and ``/metrics`` expose
-engine, batcher and cache counters (JSON and Prometheus text form).
+engine, batcher and cache counters (JSON and Prometheus text form);
+the text exposition is rendered from the shared
+:class:`~repro.obs.metrics.MetricsRegistry` (one consistent
+``janus_*`` namespace across service, engine and fleet registries).
+
+Observability: a :class:`~repro.obs.trace.Tracer` samples 1-in-N
+requests (or every request carrying an ``X-Janus-Trace`` header, or
+``"explain": true``); a sampled read collects spans across parse,
+admission, cache lookup, routing plan, per-shard execute and merge,
+and the completed trace lands in the ring served by
+``GET /debug/traces``.  Traced reads bypass the micro-batcher (their
+admission span measures the executor queue wait instead) - answers
+are bit-identical either way because batched == sequential is pinned
+by the engine.  ``slow_query_ms`` turns reads over the threshold into
+one-line JSON log events.
 
 JSON payloads may carry ``Infinity``/``NaN`` literals (Python's
 ``json`` emits and parses them); rectangle bounds are typically
@@ -38,6 +52,7 @@ infinite on unconstrained dimensions.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import threading
 import time
@@ -48,6 +63,9 @@ import numpy as np
 
 from ..broker.requests import query_from_dict, result_to_dict
 from ..core.queries import SKETCH_AGGS, AggFunc, Query, QueryResult
+from ..obs.logs import log_event
+from ..obs.metrics import MetricsRegistry, render_exposition
+from ..obs.trace import TraceContext, Tracer
 from ..sketch.registry import SKETCH_KEY, sketch_from_bytes
 from .batcher import MicroBatcher
 from .cache import ResultCache
@@ -101,21 +119,40 @@ class AQPServer:
     idle_timeout:
         Seconds a connection may sit between requests before the
         server closes it (bounds slowloris-style fd exhaustion).
+    trace_sample, trace_capacity:
+        Trace 1-in-``trace_sample`` read requests (0 disables; forced
+        traces always run) and keep the last ``trace_capacity``
+        completed traces for ``/debug/traces``.
+    slow_query_ms:
+        When set, any ``/query`` / ``/sql`` request slower than this
+        many milliseconds is counted and logged as a structured
+        one-line JSON event.
+    log_stream:
+        Destination for structured log events (default: stderr).
     """
 
     def __init__(self, engine, host: str = "127.0.0.1", port: int = 0,
                  max_batch: int = 64, max_linger_ms: float = 2.0,
                  cache_size: int = 256, cache_enabled: bool = True,
                  executor_workers: int = 4,
-                 idle_timeout: float = 120.0) -> None:
+                 idle_timeout: float = 120.0,
+                 trace_sample: int = 64, trace_capacity: int = 256,
+                 slow_query_ms: Optional[float] = None,
+                 log_stream=None) -> None:
         self.engine = engine
         self._host = host
         self._port = port
         self._idle_timeout = idle_timeout
         self._max_batch = max_batch
         self._max_linger_ms = max_linger_ms
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(sample_every=trace_sample,
+                             capacity=trace_capacity)
+        self.slow_query_ms = slow_query_ms
+        self._log_stream = log_stream
         self.cache = ResultCache(per_template=cache_size,
-                                 enabled=cache_enabled)
+                                 enabled=cache_enabled,
+                                 metrics=self.metrics)
         self._executor_workers = executor_workers
         self._executor: Optional[ThreadPoolExecutor] = \
             ThreadPoolExecutor(max_workers=executor_workers,
@@ -124,18 +161,49 @@ class AQPServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._conn_tasks: set = set()
         self._started_at = 0.0
-        self.request_counts: Dict[str, int] = {}
-        self.n_bad_requests = 0
+        self._route_counters: Dict[str, object] = {}
+        self._route_hists: Dict[str, object] = {}
+        self._c_bad = self.metrics.counter(
+            "janus_service_bad_requests_total")
+        self._c_slow = self.metrics.counter(
+            "janus_service_slow_queries_total")
+        self._c_traces = self.metrics.counter(
+            "janus_service_traces_total")
+        self._c_explain = self.metrics.counter(
+            "janus_service_explain_requests_total")
+        self._g_uptime = self.metrics.gauge(
+            "janus_service_uptime_seconds")
+        self._g_rows = self.metrics.gauge("janus_service_engine_rows")
+        self._c_epoch = self.metrics.counter(
+            "janus_service_engine_data_epoch")
+        # Does the engine's query_many take the trace context?  Probed
+        # once: stand-in engines in tests may not.
+        try:
+            self._engine_takes_obs = "obs" in inspect.signature(
+                self.engine.query_many).parameters
+        except (TypeError, ValueError):
+            self._engine_takes_obs = False
         self._routes = {
             ("GET", "/health"): self._handle_health,
             ("GET", "/stats"): self._handle_stats,
             ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/debug/traces"): self._handle_traces,
             ("POST", "/query"): self._handle_query,
             ("POST", "/sql"): self._handle_sql,
             ("POST", "/insert"): self._handle_insert,
             ("POST", "/delete"): self._handle_delete,
         }
         self._known_paths = frozenset(p for _, p in self._routes)
+
+    @property
+    def request_counts(self) -> Dict[str, int]:
+        """Requests served by route (reads the registry counters)."""
+        return {route: int(c.value)
+                for route, c in self._route_counters.items()}
+
+    @property
+    def n_bad_requests(self) -> int:
+        return int(self._c_bad.value)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -163,7 +231,8 @@ class AQPServer:
                 thread_name_prefix="janus-service")
         self.batcher = MicroBatcher(
             self._engine_execute, max_batch=self._max_batch,
-            max_linger_ms=self._max_linger_ms, executor=self._executor)
+            max_linger_ms=self._max_linger_ms, executor=self._executor,
+            metrics=self.metrics)
         self._server = await asyncio.start_server(
             self._serve_connection, self._host, self._port)
         self._port = self._server.sockets[0].getsockname()[1]
@@ -210,15 +279,26 @@ class AQPServer:
     # ------------------------------------------------------------------ #
     # engine lane
     # ------------------------------------------------------------------ #
-    def _engine_execute(self, queries: List[Query]) -> List[QueryResult]:
+    def _engine_execute(self, queries: List[Query],
+                        ctx: Optional[TraceContext] = None
+                        ) -> List[QueryResult]:
         """One micro-batch through the engine (runs in the executor).
 
         The epoch is read on both sides of the call: results are
         admitted to the cache only when no write interleaved, keyed by
-        the epoch they provably belong to.
+        the epoch they provably belong to.  ``ctx`` (traced requests
+        only) threads through to engines that take a trace context;
+        for those that do not, a single ``engine_execute`` span wraps
+        the call instead.
         """
         epoch_before = self.engine.data_epoch
-        results = self.engine.query_many(queries)
+        if ctx is None:
+            results = self.engine.query_many(queries)
+        elif self._engine_takes_obs:
+            results = self.engine.query_many(queries, obs=ctx)
+        else:
+            with ctx.span("engine_execute", n_queries=len(queries)):
+                results = self.engine.query_many(queries)
         epoch_after = self.engine.data_epoch
         for query, result in zip(queries, results):
             self.cache.store(query, result, epoch_before, epoch_after)
@@ -262,14 +342,23 @@ class AQPServer:
                          f"tracked by this synopsis (tracked: "
                          f"{list(stat_attrs)})")
 
-    async def _answer(self, queries: List[Query]) -> Tuple[List[dict],
-                                                           List[bool]]:
-        """Cache lookups first, the misses through the batcher."""
+    async def _answer(self, queries: List[Query],
+                      ctx: Optional[TraceContext] = None
+                      ) -> Tuple[List[dict], List[bool]]:
+        """Cache lookups first, the misses through the engine lane.
+
+        Untraced requests ride the micro-batcher; traced ones go to
+        the executor directly (one engine call for the whole miss
+        list), so their spans describe exactly this request's work.
+        The engine pins batched == sequential, so the answers are
+        bit-identical down either lane.
+        """
         self._validate_queries(queries)
         results: List[Optional[QueryResult]] = [None] * len(queries)
         cached = [False] * len(queries)
         misses: List[int] = []
         epoch = self.engine.data_epoch
+        t0 = time.perf_counter()
         for i, query in enumerate(queries):
             hit = self.cache.lookup(query, epoch)
             if hit is not None:
@@ -277,9 +366,17 @@ class AQPServer:
                 cached[i] = True
             else:
                 misses.append(i)
+        if ctx is not None:
+            ctx.add_span("cache_lookup",
+                         int((time.perf_counter() - t0) * 1e6),
+                         n_queries=len(queries),
+                         hits=len(queries) - len(misses))
         if misses:
-            answered = await self.batcher.submit_many(
-                [queries[i] for i in misses])
+            miss_queries = [queries[i] for i in misses]
+            if ctx is None:
+                answered = await self.batcher.submit_many(miss_queries)
+            else:
+                answered = await self._execute_traced(miss_queries, ctx)
             for i, result in zip(misses, answered):
                 results[i] = result
         payloads = [result_to_dict(r) for r in results]
@@ -297,10 +394,128 @@ class AQPServer:
                         in sketch.top(int(query.param))]
         return payloads, cached
 
+    async def _execute_traced(self, queries: List[Query],
+                              ctx: TraceContext) -> List[QueryResult]:
+        """Engine lane for a traced request (skips the batcher)."""
+        loop = asyncio.get_running_loop()
+        t_submit = time.perf_counter()
+
+        def run() -> List[QueryResult]:
+            # Queue wait between the loop handing the job off and the
+            # executor picking it up - the traced analogue of the
+            # batcher's admission delay.
+            ctx.add_span("admission",
+                         int((time.perf_counter() - t_submit) * 1e6),
+                         n_queries=len(queries))
+            return self._engine_execute(queries, ctx)
+
+        return await loop.run_in_executor(self._executor, run)
+
+    # ------------------------------------------------------------------ #
+    # tracing / explain
+    # ------------------------------------------------------------------ #
+    def _trace_context(self, headers: Optional[Dict[str, str]],
+                       force: bool) -> Optional[TraceContext]:
+        """Sample this request (honouring ``X-Janus-Trace``).
+
+        A client-supplied trace id (hex) always traces and propagates
+        verbatim, so a caller can stitch our spans into its own trace.
+        """
+        raw = headers.get("x-janus-trace") if headers else None
+        tid: Optional[int] = None
+        if raw:
+            try:
+                tid = int(raw, 16)
+            except ValueError:
+                raise _HTTPError(
+                    400, f"bad X-Janus-Trace header {raw!r} "
+                         f"(expected hex)") from None
+            if tid <= 0:
+                raise _HTTPError(
+                    400, "X-Janus-Trace must be a positive hex id")
+        return self.tracer.sample(force=force or tid is not None,
+                                  trace_id=tid)
+
+    def _finish_request(self, route: str, t_req: float, n_queries: int,
+                        ctx: Optional[TraceContext]) -> Optional[dict]:
+        """Slow-query accounting + trace completion for one read."""
+        dur_ms = (time.perf_counter() - t_req) * 1e3
+        if self.slow_query_ms is not None and dur_ms > self.slow_query_ms:
+            self._c_slow.inc()
+            log_event(self._log_stream, "slow_query", route=route,
+                      duration_ms=round(dur_ms, 3), n_queries=n_queries,
+                      trace_id=f"{ctx.trace_id:x}" if ctx else None)
+        if ctx is None:
+            return None
+        trace = ctx.finish(route=route)
+        self._c_traces.inc()
+        return trace
+
+    def _explain_report(self, queries: List[Query], payloads: List[dict],
+                        cached: List[bool], trace: dict,
+                        ctx: TraceContext) -> dict:
+        """Per-stage timings + per-query routing decisions.
+
+        Built entirely from the request's own trace (span durations,
+        planner notes) plus a read of the engine's routing summaries
+        to name *why* each pruned shard was skipped - advisory, so the
+        lock-free summary read is fine (see ``ShardSummary.classify``).
+        """
+        by_name: Dict[str, int] = {}
+        for span in trace["spans"]:
+            by_name[span["name"]] = \
+                by_name.get(span["name"], 0) + int(span["dur_us"])
+        stages = {name: by_name[name]
+                  for name in ("parse", "admission", "cache_lookup",
+                               "plan", "merge") if name in by_name}
+        if "execute" in by_name:
+            stages["execute"] = by_name["execute"]
+        elif "engine_execute" in by_name:
+            # Single-engine path: the engine span is the execute stage.
+            stages["execute"] = by_name["engine_execute"]
+        shard_execute = [{"shard": span["tags"].get("shard"),
+                          "dur_us": int(span["dur_us"])}
+                         for span in trace["spans"]
+                         if span["name"] == "shard_execute"]
+        notes = ctx.notes
+        subsets = notes.get("subsets")
+        live = notes.get("live", [])
+        summaries = getattr(self.engine, "summaries", None)
+        miss_pos = {i: j for j, i in enumerate(
+            i for i in range(len(queries)) if not cached[i])}
+        per_query: List[dict] = []
+        for i, query in enumerate(queries):
+            if cached[i]:
+                per_query.append({"tier": "cache"})
+                continue
+            if query.agg in SKETCH_AGGS:
+                entry = {"tier": "sketch"}
+            else:
+                entry = {"tier": "exact" if payloads[i].get("exact")
+                         else "estimate"}
+            j = miss_pos.get(i)
+            if subsets is not None and j is not None and j < len(subsets):
+                contrib = [int(s) for s in subsets[j]]
+                entry["shards"] = contrib
+                if summaries is not None:
+                    lo = np.asarray(query.rect.lo, dtype=np.float64)
+                    hi = np.asarray(query.rect.hi, dtype=np.float64)
+                    entry["pruned"] = [
+                        {"shard": int(s),
+                         "reason": summaries[s].classify(lo, hi)}
+                        for s in live if int(s) not in contrib]
+            per_query.append(entry)
+        return {"trace_id": trace["trace_id"],
+                "duration_us": trace["duration_us"],
+                "stages_us": stages,
+                "shard_execute": shard_execute,
+                "queries": per_query}
+
     # ------------------------------------------------------------------ #
     # routes
     # ------------------------------------------------------------------ #
-    async def _route(self, method: str, path: str, body: bytes) -> dict:
+    async def _route(self, method: str, path: str,
+                     headers: Dict[str, str], body: bytes) -> dict:
         path = path.split("?", 1)[0]
         handler = self._routes.get((method, path))
         if handler is None:
@@ -308,7 +523,15 @@ class AQPServer:
                 raise _HTTPError(405, f"method {method} not allowed "
                                       f"for {path}")
             raise _HTTPError(404, f"unknown route {path}")
-        self.request_counts[path] = self.request_counts.get(path, 0) + 1
+        counter = self._route_counters.get(path)
+        if counter is None:
+            counter = self._route_counters[path] = self.metrics.counter(
+                "janus_service_requests_total", route=path)
+        counter.inc()
+        hist = self._route_hists.get(path)
+        if hist is None:
+            hist = self._route_hists[path] = self.metrics.histogram(
+                "janus_service_request_seconds", route=path)
         payload = None
         if method == "POST":
             if len(body) > 256 * 1024:
@@ -319,7 +542,11 @@ class AQPServer:
                                      body)
             else:
                 payload = self._json_body(body)
-        return await handler(payload)
+        t0 = time.perf_counter()
+        try:
+            return await handler(payload, headers)
+        finally:
+            hist.observe(time.perf_counter() - t0)
 
     @staticmethod
     def _json_body(body: bytes) -> dict:
@@ -331,7 +558,7 @@ class AQPServer:
             raise _HTTPError(400, "body must be a JSON object")
         return payload
 
-    async def _handle_health(self, _payload) -> dict:
+    async def _handle_health(self, _payload, _headers) -> dict:
         fleet_health = getattr(self.engine, "fleet_health", None)
         if fleet_health is None:
             return {"status": "ok"}
@@ -340,7 +567,8 @@ class AQPServer:
         # until the supervisor's restart lands.
         return fleet_health()
 
-    async def _handle_query(self, payload: dict) -> dict:
+    async def _handle_query(self, payload: dict, headers) -> dict:
+        t_req = time.perf_counter()
         if "queries" in payload:
             raw = payload["queries"]
             single = False
@@ -351,16 +579,30 @@ class AQPServer:
             raise _HTTPError(400, "expected 'query' or 'queries'")
         if not isinstance(raw, list):
             raise _HTTPError(400, "'queries' must be a list")
+        explain = bool(payload.get("explain", False))
+        if explain:
+            self._c_explain.inc()
+        ctx = self._trace_context(headers, force=explain)
+        t0 = time.perf_counter()
         try:
             queries = [query_from_dict(q) for q in raw]
         except ValueError as exc:
             raise _HTTPError(400, str(exc)) from exc
-        results, cached = await self._answer(queries)
-        if single:
-            return {"result": results[0], "cached": cached[0]}
-        return {"results": results, "cached": cached}
+        if ctx is not None:
+            ctx.add_span("parse",
+                         int((time.perf_counter() - t0) * 1e6),
+                         n_queries=len(queries))
+        results, cached = await self._answer(queries, ctx)
+        out = {"result": results[0], "cached": cached[0]} if single \
+            else {"results": results, "cached": cached}
+        trace = self._finish_request("/query", t_req, len(queries), ctx)
+        if explain and trace is not None:
+            out["explain"] = self._explain_report(queries, results,
+                                                  cached, trace, ctx)
+        return out
 
-    async def _handle_sql(self, payload: dict) -> dict:
+    async def _handle_sql(self, payload: dict, headers) -> dict:
+        t_req = time.perf_counter()
         if "sql" not in payload:
             raise _HTTPError(400, "expected 'sql'")
         raw = payload["sql"]
@@ -370,6 +612,11 @@ class AQPServer:
                 not all(isinstance(s, str) for s in statements):
             raise _HTTPError(400, "'sql' must be a string or a list "
                                   "of strings")
+        explain = bool(payload.get("explain", False))
+        if explain:
+            self._c_explain.inc()
+        ctx = self._trace_context(headers, force=explain)
+        t0 = time.perf_counter()
         try:
             queries = [compile_sql(s, self.engine.agg_attr,
                                    self.engine.predicate_attrs,
@@ -379,10 +626,18 @@ class AQPServer:
                        for s in statements]
         except SQLError as exc:
             raise _HTTPError(400, str(exc)) from exc
-        results, cached = await self._answer(queries)
-        if single:
-            return {"result": results[0], "cached": cached[0]}
-        return {"results": results, "cached": cached}
+        if ctx is not None:
+            ctx.add_span("parse",
+                         int((time.perf_counter() - t0) * 1e6),
+                         n_queries=len(queries))
+        results, cached = await self._answer(queries, ctx)
+        out = {"result": results[0], "cached": cached[0]} if single \
+            else {"results": results, "cached": cached}
+        trace = self._finish_request("/sql", t_req, len(queries), ctx)
+        if explain and trace is not None:
+            out["explain"] = self._explain_report(queries, results,
+                                                  cached, trace, ctx)
+        return out
 
     def _decode_and_insert(self, raw) -> List[int]:
         """Array conversion, validation and ingest, off the loop."""
@@ -404,7 +659,7 @@ class AQPServer:
         except ValueError as exc:
             raise _HTTPError(400, str(exc)) from exc
 
-    async def _handle_insert(self, payload: dict) -> dict:
+    async def _handle_insert(self, payload: dict, _headers) -> dict:
         if "rows" not in payload:
             raise _HTTPError(400, "expected 'rows'")
         loop = asyncio.get_running_loop()
@@ -413,7 +668,7 @@ class AQPServer:
         return {"tids": [int(t) for t in tids],
                 "epoch": int(self.engine.data_epoch)}
 
-    async def _handle_delete(self, payload: dict) -> dict:
+    async def _handle_delete(self, payload: dict, _headers) -> dict:
         if "tids" not in payload:
             raise _HTTPError(400, "expected 'tids'")
         try:
@@ -429,7 +684,7 @@ class AQPServer:
         return {"deleted": len(tids),
                 "epoch": int(self.engine.data_epoch)}
 
-    async def _handle_stats(self, _payload) -> dict:
+    async def _handle_stats(self, _payload, _headers) -> dict:
         engine = self.engine
         stats = {
             "engine": {
@@ -456,85 +711,68 @@ class AQPServer:
             stats["engine"]["fleet"] = fleet_stats()
         return stats
 
-    async def _handle_metrics(self, _payload) -> dict:
-        b = self.batcher.stats
-        c = self.cache.stats
-        lines = [
-            "# TYPE janus_service_uptime_seconds gauge",
-            f"janus_service_uptime_seconds "
-            f"{time.time() - self._started_at:.3f}",
-            "# TYPE janus_service_engine_rows gauge",
-            f"janus_service_engine_rows {len(self.engine.table)}",
-            "# TYPE janus_service_engine_data_epoch counter",
-            f"janus_service_engine_data_epoch "
-            f"{int(self.engine.data_epoch)}",
-            "# TYPE janus_service_batches_total counter",
-            f"janus_service_batches_total {b.n_batches}",
-            "# TYPE janus_service_batched_queries_total counter",
-            f"janus_service_batched_queries_total {b.n_queries}",
-            "# TYPE janus_service_batch_max_size gauge",
-            f"janus_service_batch_max_size {b.max_batch_size}",
-            "# TYPE janus_service_cache_hits_total counter",
-            f"janus_service_cache_hits_total {c.hits}",
-            "# TYPE janus_service_cache_misses_total counter",
-            f"janus_service_cache_misses_total {c.misses}",
-            "# TYPE janus_service_bad_requests_total counter",
-            f"janus_service_bad_requests_total {self.n_bad_requests}",
-        ]
+    async def _handle_traces(self, _payload, _headers) -> dict:
+        traces = self.tracer.snapshot()
+        return {"n": len(traces),
+                "sample_every": self.tracer.sample_every,
+                "capacity": self.tracer.capacity,
+                "traces": traces}
+
+    def _sample_mirrors(self) -> None:
+        """Scrape-time snapshot of engine/fleet state into the registry.
+
+        Keeps the historical ``janus_service_*`` series names live
+        (gauges and mirrored totals are *set*, not incremented, so a
+        scrape is idempotent).  Routing and fleet mirrors only exist
+        for engines that expose them - a plain single-engine server
+        never emits those families.
+        """
+        self._g_uptime.set(time.time() - self._started_at)
+        self._g_rows.set(len(self.engine.table))
+        self._c_epoch.set(int(self.engine.data_epoch))
+        m = self.metrics
         routing = getattr(self.engine, "routing_stats", None)
         if routing is not None:
             r = routing()
-            lines += [
-                "# TYPE janus_service_routed_queries_total counter",
-                f"janus_service_routed_queries_total "
-                f"{r['n_routed_queries']}",
-                "# TYPE janus_service_broadcast_queries_total counter",
-                f"janus_service_broadcast_queries_total "
-                f"{r['n_broadcast_queries']}",
-                "# TYPE janus_service_pruned_shard_queries_total counter",
-                f"janus_service_pruned_shard_queries_total "
-                f"{r['n_pruned_shard_queries']}",
-                "# TYPE janus_service_mean_shards_touched gauge",
-                f"janus_service_mean_shards_touched "
-                f"{r['mean_shards_touched']:.4f}",
-                "# TYPE janus_service_shards_touched_total counter",
-            ]
+            m.counter("janus_service_routed_queries_total").set(
+                r["n_routed_queries"])
+            m.counter("janus_service_broadcast_queries_total").set(
+                r["n_broadcast_queries"])
+            m.counter("janus_service_pruned_shard_queries_total").set(
+                r["n_pruned_shard_queries"])
+            m.gauge("janus_service_mean_shards_touched").set(
+                r["mean_shards_touched"])
             for k, count in enumerate(r["shards_touched_hist"]):
-                lines.append(f'janus_service_shards_touched_total'
-                             f'{{shards="{k}"}} {count}')
+                m.counter("janus_service_shards_touched_total",
+                          shards=str(k)).set(count)
         fleet_stats = getattr(self.engine, "fleet_stats", None)
         if fleet_stats is not None:
             f = fleet_stats()
-            n_alive = sum(1 for w in f["workers"].values() if w["alive"])
-            lines += [
-                "# TYPE janus_service_workers gauge",
-                f"janus_service_workers {f['n_workers']}",
-                "# TYPE janus_service_workers_alive gauge",
-                f"janus_service_workers_alive {n_alive}",
-                "# TYPE janus_service_worker_requests_total counter",
-                "# TYPE janus_service_worker_bytes_sent_total counter",
-                "# TYPE janus_service_worker_bytes_received_total "
-                "counter",
-                "# TYPE janus_service_worker_restarts_total counter",
-                "# TYPE janus_service_worker_p50_seconds gauge",
-            ]
+            m.gauge("janus_service_workers").set(f["n_workers"])
+            m.gauge("janus_service_workers_alive").set(
+                sum(1 for w in f["workers"].values() if w["alive"]))
             for wid, w in sorted(f["workers"].items()):
-                lines += [
-                    f'janus_service_worker_requests_total'
-                    f'{{worker="{wid}"}} {w["requests"]}',
-                    f'janus_service_worker_bytes_sent_total'
-                    f'{{worker="{wid}"}} {w["bytes_sent"]}',
-                    f'janus_service_worker_bytes_received_total'
-                    f'{{worker="{wid}"}} {w["bytes_received"]}',
-                    f'janus_service_worker_restarts_total'
-                    f'{{worker="{wid}"}} {w["restarts"]}',
-                    f'janus_service_worker_p50_seconds'
-                    f'{{worker="{wid}"}} {w["p50_seconds"]:.6f}',
-                ]
-        for route, count in sorted(self.request_counts.items()):
-            lines.append(f'janus_service_requests_total'
-                         f'{{route="{route}"}} {count}')
-        return {"__raw__": "\n".join(lines) + "\n"}
+                label = {"worker": str(wid)}
+                m.counter("janus_service_worker_requests_total",
+                          **label).set(w["requests"])
+                m.counter("janus_service_worker_bytes_sent_total",
+                          **label).set(w["bytes_sent"])
+                m.counter("janus_service_worker_bytes_received_total",
+                          **label).set(w["bytes_received"])
+                m.counter("janus_service_worker_restarts_total",
+                          **label).set(w["restarts"])
+                m.gauge("janus_service_worker_p50_seconds",
+                        **label).set(w["p50_seconds"])
+
+    async def _handle_metrics(self, _payload, _headers) -> dict:
+        self._sample_mirrors()
+        engine_reg = getattr(self.engine, "metrics", None)
+        if isinstance(engine_reg, MetricsRegistry) and \
+                engine_reg is not self.metrics:
+            text = render_exposition(self.metrics, engine_reg)
+        else:
+            text = render_exposition(self.metrics)
+        return {"__raw__": text}
 
     # ------------------------------------------------------------------ #
     # HTTP codec
@@ -559,7 +797,7 @@ class AQPServer:
                     # A request we could not even parse still deserves
                     # a response; the connection closes after it since
                     # the stream position is unreliable.
-                    self.n_bad_requests += 1
+                    self._c_bad.inc()
                     self._write_response(writer, exc.status,
                                          {"error": str(exc)}, False)
                     await writer.drain()
@@ -570,23 +808,24 @@ class AQPServer:
                 keep_alive = (version != "HTTP/1.0" and
                               headers.get("connection", "") != "close")
                 try:
-                    payload = await self._route(method, path, body)
+                    payload = await self._route(method, path, headers,
+                                                body)
                     status = 200
                 except _HTTPError as exc:
                     payload = {"error": str(exc)}
                     status = exc.status
-                    self.n_bad_requests += 1
+                    self._c_bad.inc()
                 except FleetUnavailableError as exc:
                     # A fleet worker is down and the query needs its
                     # shard: refuse explicitly rather than answer
                     # wrong; the fleet self-heals, clients retry.
                     payload = {"error": str(exc), "retryable": True}
                     status = 503
-                    self.n_bad_requests += 1
+                    self._c_bad.inc()
                 except Exception as exc:    # engine-side failure
                     payload = {"error": f"{type(exc).__name__}: {exc}"}
                     status = 500
-                    self.n_bad_requests += 1
+                    self._c_bad.inc()
                 self._write_response(writer, status, payload, keep_alive)
                 await writer.drain()
                 if not keep_alive:

@@ -33,8 +33,10 @@ from __future__ import annotations
 import argparse
 import io
 import json
+import os
 import socket
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -50,6 +52,7 @@ from ..core.janus import JanusAQP
 from ..core.persist import _MANIFEST, load_shard
 from ..core.placement import stagger_trigger
 from ..core.routing import ShardSummary
+from ..obs.trace import encode_spans
 
 __all__ = ["ShardWorker", "main"]
 
@@ -69,6 +72,11 @@ class ShardWorker:
             [schema.index(a) for a in shard.predicate_attrs],
             dtype=np.intp)
         self.n_requests = 0
+        # Span ids must be unique within a trace yet never collide
+        # with the coordinator's small sequential ids; salt a high
+        # base with the worker pid (see repro.obs.trace).
+        self._span_base = ((os.getpid() & 0xFFFF) | 0x10000) << 32
+        self._span_seq = 0
 
     # ------------------------------------------------------------------ #
     # frame loop
@@ -77,7 +85,8 @@ class ShardWorker:
         """Serve frames until SHUTDOWN or the coordinator goes away."""
         while True:
             try:
-                opcode, meta, payload = recv_frame(self.sock)
+                opcode, meta, payload, trace_id, span = \
+                    recv_frame(self.sock)
             except (EOFError, OSError):
                 return              # coordinator closed the pair: exit
             self.n_requests += 1
@@ -85,7 +94,7 @@ class ShardWorker:
                 self._reply_ok()
                 return
             try:
-                self._dispatch(opcode, meta, payload)
+                self._dispatch(opcode, meta, payload, trace_id, span)
             except Exception as exc:
                 # Application errors (off-template query, dead local
                 # tid) go back as typed ERR frames for the coordinator
@@ -93,7 +102,8 @@ class ShardWorker:
                 send_frame(self.sock, OP_ERR, 0,
                            [f"{type(exc).__name__}\n{exc}".encode()])
 
-    def _dispatch(self, opcode: int, meta: int, payload) -> None:
+    def _dispatch(self, opcode: int, meta: int, payload,
+                  trace_id: int = 0, parent_span: int = 0) -> None:
         if opcode == OP_PING:
             self._reply_ok()
         elif opcode == OP_INSERT:
@@ -101,7 +111,7 @@ class ShardWorker:
         elif opcode == OP_DELETE:
             self._handle_delete(payload)
         elif opcode == OP_QUERY:
-            self._handle_query(payload)
+            self._handle_query(payload, trace_id, parent_span)
         elif opcode == OP_REOPT:
             self._handle_reopt()
         elif opcode == OP_SUMMARY:
@@ -168,22 +178,42 @@ class ShardWorker:
     # ------------------------------------------------------------------ #
     # queries and introspection
     # ------------------------------------------------------------------ #
-    def _handle_query(self, payload) -> None:
+    def _handle_query(self, payload, trace_id: int = 0,
+                      parent_span: int = 0) -> None:
         """Broker-codec query records in, a RESULT_DTYPE block out.
 
         Answers that carry sketch blobs (the sketch aggregates) append
         a variable-length sidecar after the fixed block; the reply meta
         still counts results, so the coordinator knows where the fixed
-        block ends.
+        block ends.  A traced request (``trace_id != 0``) additionally
+        appends a JSON span sidecar and reports its byte length in the
+        reply header's ``span`` field - the coordinator strips it
+        before decoding and grafts the spans under its own
+        ``shard_execute`` span.
         """
         records = bytes(payload).decode("utf-8").split("\n")
         queries = [decode(r).query for r in records]
+        t0 = time.perf_counter()
         results = self.shard.query_many(queries)
+        span_block = b""
+        if trace_id:
+            self._span_seq += 1
+            span_block = encode_spans([{
+                "id": self._span_base + self._span_seq,
+                "parent": parent_span or None,
+                "name": "worker_execute",
+                "start_us": 0,
+                "dur_us": int((time.perf_counter() - t0) * 1e6),
+                "tags": {"shard": self.shard_id, "pid": os.getpid(),
+                         "n_queries": len(queries)},
+            }])
         send_frame(self.sock, OP_OK, len(results),
                    pack_reply(self.shard.data_epoch,
                               [encode_result_block(results),
                                encode_sketch_block(
-                                   extract_sketch_frames(results))]))
+                                   extract_sketch_frames(results)),
+                               span_block]),
+                   trace_id=trace_id, span=len(span_block))
 
     def _summary_npz(self) -> bytes:
         """A fresh exact routing summary, as npz bytes.

@@ -26,6 +26,7 @@ from tools.analysis.epoch import check_epoch                   # noqa: E402
 from tools.analysis.hygiene import check_hygiene               # noqa: E402
 from tools.analysis.locks import check_locks, lock_order_edges  # noqa: E402
 from tools.analysis.mergeclosure import check_merge_closure    # noqa: E402
+from tools.analysis.obsmetrics import check_obs_metrics        # noqa: E402
 from tools.analysis.runtime import LockOrderRecorder           # noqa: E402
 
 
@@ -528,6 +529,67 @@ def test_hygiene_pass_accepts_seeded_and_explicit_code():
 
 
 # ------------------------------------------------------------------ #
+# metric-name discipline (JL601 / JL602)
+# ------------------------------------------------------------------ #
+
+OBS_CATALOG = textwrap.dedent('''\
+    CATALOG = {
+        "janus_service_requests_total": ("counter", "Requests served."),
+        "janus_engine_reoptimize_seconds": ("histogram", "Reopt time."),
+    }
+    ''')
+
+OBS_BAD = textwrap.dedent('''\
+    import numpy as np
+
+    class Server:
+        def __init__(self, registry, route):
+            self.c_ok = registry.counter("janus_service_requests_total")
+            self.c_typo = registry.counter("janus_service_request_total")
+            self.c_dyn = registry.counter("janus_service_" + route)
+            self.line = "janus_service_oops_total 1"
+
+        def digest(self, values):
+            return np.histogram(values, bins=self.edges)
+    ''')
+
+
+def obs_project(server_source):
+    return Project.from_sources({
+        "src/repro/obs/metrics.py": OBS_CATALOG,
+        "src/repro/service/x.py": server_source,
+    })
+
+
+def test_obs_pass_flags_typo_computed_and_stringly_names():
+    findings = check_obs_metrics(obs_project(OBS_BAD))
+    path = "src/repro/service/x.py"
+    assert has(findings, "JL601", path, line_of(OBS_BAD, "c_typo"))
+    assert has(findings, "JL601", path, line_of(OBS_BAD, "c_dyn"))
+    assert has(findings, "JL602", path, line_of(OBS_BAD, "oops"))
+    # The catalogued name and the numpy.histogram call stay clean.
+    assert not has(findings, "JL601", path, line_of(OBS_BAD, "c_ok"))
+    assert not has(findings, "JL601", path,
+                   line_of(OBS_BAD, "np.histogram"))
+
+
+def test_obs_pass_accepts_catalogued_names():
+    fixed = (OBS_BAD
+             .replace("janus_service_request_total",
+                      "janus_service_requests_total")
+             .replace('registry.counter("janus_service_" + route)',
+                      'registry.counter("janus_engine_reoptimize_seconds")')
+             .replace('"janus_service_oops_total 1"',
+                      '"janus_service_requests_total 1"'))
+    assert check_obs_metrics(obs_project(fixed)) == []
+
+
+def test_obs_pass_is_noop_without_a_catalog_module():
+    project = Project.from_sources({"src/repro/service/x.py": OBS_BAD})
+    assert check_obs_metrics(project) == []
+
+
+# ------------------------------------------------------------------ #
 # the gate: real tree, baseline, CLI
 # ------------------------------------------------------------------ #
 
@@ -541,7 +603,7 @@ def test_repo_tree_is_clean_modulo_baseline():
 
 def test_all_passes_are_registered():
     assert set(PASSES) == {"epoch", "locks", "merge-closure",
-                           "codec-parity", "hygiene"}
+                           "codec-parity", "hygiene", "obs-metrics"}
 
 
 def test_cli_exits_nonzero_on_new_violation(tmp_path):

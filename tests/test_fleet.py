@@ -96,8 +96,9 @@ class TestFrameProtocol:
             rows = np.arange(12, dtype=np.float64).reshape(4, 3)
             sent = send_frame(a, OP_INSERT, meta=3, bufs=[rows])
             assert sent == HEADER.size + rows.nbytes
-            opcode, meta, payload = recv_frame(b)
+            opcode, meta, payload, trace_id, span = recv_frame(b)
             assert (opcode, meta) == (OP_INSERT, 3)
+            assert (trace_id, span) == (0, 0)   # untraced frame
             back = np.frombuffer(payload, dtype=np.float64).reshape(4, 3)
             assert np.array_equal(back, rows)
         finally:
@@ -108,10 +109,10 @@ class TestFrameProtocol:
         a, b = socket.socketpair()
         try:
             send_frame(a, OP_OK)
-            opcode, meta, payload = recv_frame(b)
+            opcode, meta, payload, _, _ = recv_frame(b)
             assert (opcode, meta, len(payload)) == (OP_OK, 0, 0)
             send_frame(a, OP_OK, 0, [b"head", b"tail"])
-            _, _, payload = recv_frame(b)
+            _, _, payload, _, _ = recv_frame(b)
             assert bytes(payload) == b"headtail"
         finally:
             a.close()
@@ -129,7 +130,7 @@ class TestFrameProtocol:
     def test_oversize_length_prefix_fails_fast(self):
         a, b = socket.socketpair()
         try:
-            a.sendall(HEADER.pack(OP_OK, 0, MAX_PAYLOAD + 1))
+            a.sendall(HEADER.pack(OP_OK, 0, 0, 0, MAX_PAYLOAD + 1))
             with pytest.raises(ValueError):
                 recv_frame(b)
         finally:

@@ -1,0 +1,308 @@
+"""Unit tests for the observability primitives (repro.obs).
+
+Covers the metrics registry (catalog enforcement, instrument reuse,
+exact window percentiles), the Prometheus text exposition and its
+validating parser (the exposition-correctness satellite: janus_ names,
+HELP/TYPE comments, escaped label values, histogram series), the
+deterministic trace sampler and span-tree plumbing, and the one-line
+JSON event logger.
+"""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import (CATALOG, Counter, Gauge, Histogram,
+                       MetricsRegistry, TraceContext, Tracer,
+                       decode_spans, encode_spans, log_event,
+                       maybe_span, parse_exposition, render_exposition)
+
+# ---------------------------------------------------------------------- #
+# registry + instruments
+# ---------------------------------------------------------------------- #
+
+
+def test_catalog_names_are_well_formed():
+    for name, (kind, help_text) in CATALOG.items():
+        assert name.startswith("janus_")
+        assert kind in ("counter", "gauge", "histogram")
+        assert help_text.strip()
+
+
+def test_registry_rejects_uncatalogued_names():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="CATALOG"):
+        reg.counter("janus_service_made_up_total")
+    with pytest.raises(ValueError, match="catalogued as"):
+        # Catalogued, but as a counter.
+        reg.gauge("janus_service_requests_total")
+    with pytest.raises(ValueError, match="label"):
+        reg.counter("janus_service_requests_total", **{"bad-key": "x"})
+
+
+def test_registry_returns_same_instrument_for_same_key():
+    reg = MetricsRegistry()
+    a = reg.counter("janus_service_requests_total", route="/query")
+    b = reg.counter("janus_service_requests_total", route="/query")
+    other = reg.counter("janus_service_requests_total", route="/sql")
+    assert a is b
+    assert a is not other
+    a.inc()
+    a.inc(2)
+    assert b.value == 3
+    assert other.value == 0
+
+
+def test_gauge_set_and_counter_mirror_set():
+    g = Gauge()
+    g.set(4.5)
+    g.inc(0.5)
+    assert g.value == 5.0
+    c = Counter()
+    c.set(17)        # scrape-time mirror path
+    assert c.value == 17
+
+
+def test_histogram_exact_percentiles_over_window():
+    h = Histogram(buckets=(0.1, 1.0), window=100)
+    for v in range(1, 101):          # 0.01 .. 1.00
+        h.observe(v / 100.0)
+    assert h.count == 100
+    assert h.percentile(0.5) == pytest.approx(0.51)
+    assert h.percentile(0.99) == pytest.approx(1.0)
+    assert h.percentile(0.0) == pytest.approx(0.01)
+    with pytest.raises(ValueError):
+        h.percentile(1.5)
+
+
+def test_histogram_window_is_bounded():
+    h = Histogram(window=8)
+    for _ in range(100):
+        h.observe(100.0)
+    h.observe(1.0)
+    # The window forgot the early observations; count/sum did not.
+    assert h.count == 101
+    assert h.percentile(0.0) == 1.0
+
+
+def test_empty_histogram_percentile_is_zero():
+    assert Histogram().percentile(0.99) == 0.0
+
+
+# ---------------------------------------------------------------------- #
+# exposition: render -> parse round trip
+# ---------------------------------------------------------------------- #
+
+
+def test_exposition_round_trip_with_labels_and_histograms():
+    reg = MetricsRegistry()
+    reg.counter("janus_service_requests_total", route="/query").inc(3)
+    reg.counter("janus_service_requests_total", route="/sql").inc()
+    reg.gauge("janus_service_engine_rows").set(6000)
+    hist = reg.histogram("janus_engine_reoptimize_seconds", shard="0")
+    hist.observe(0.002)
+    hist.observe(0.2)
+    text = render_exposition(reg)
+    families = parse_exposition(text)
+
+    req = families["janus_service_requests_total"]
+    assert req["type"] == "counter"
+    assert req["help"] == CATALOG["janus_service_requests_total"][1]
+    by_route = {s[1]["route"]: s[2] for s in req["samples"]}
+    assert by_route == {"/query": 3.0, "/sql": 1.0}
+
+    assert families["janus_service_engine_rows"]["samples"] == [
+        ("janus_service_engine_rows", {}, 6000.0)]
+
+    reopt = families["janus_engine_reoptimize_seconds"]
+    assert reopt["type"] == "histogram"
+    names = {s[0] for s in reopt["samples"]}
+    assert names == {"janus_engine_reoptimize_seconds_bucket",
+                     "janus_engine_reoptimize_seconds_sum",
+                     "janus_engine_reoptimize_seconds_count"}
+    count = [s for s in reopt["samples"]
+             if s[0].endswith("_count")][0]
+    assert count[1] == {"shard": "0"} and count[2] == 2.0
+    inf = [s for s in reopt["samples"]
+           if s[1].get("le") == "+Inf"][0]
+    assert inf[2] == 2.0
+    # Cumulative buckets are monotone.
+    buckets = [s[2] for s in reopt["samples"]
+               if s[0].endswith("_bucket")]
+    assert buckets == sorted(buckets)
+
+    # Every family on the page is a janus_ name with HELP and TYPE.
+    for name, family in families.items():
+        assert name.startswith("janus_")
+        assert family["type"] is not None
+        assert family["help"] is not None
+
+
+def test_exposition_merges_registries_and_sorts_families():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("janus_service_requests_total", route="/query").inc()
+    b.histogram("janus_engine_reoptimize_seconds", shard="1")
+    text = render_exposition(a, b)
+    families = parse_exposition(text)
+    assert set(families) == {"janus_service_requests_total",
+                             "janus_engine_reoptimize_seconds"}
+    order = [line.split()[2] for line in text.splitlines()
+             if line.startswith("# HELP")]
+    assert order == sorted(order)
+
+
+def test_exposition_escapes_label_values():
+    reg = MetricsRegistry()
+    reg.counter("janus_service_requests_total",
+                route='/que"ry\\x\nz').inc()
+    text = render_exposition(reg)
+    assert r'route="/que\"ry\\x\nz"' in text
+    families = parse_exposition(text)
+    (name, labels, value), = \
+        families["janus_service_requests_total"]["samples"]
+    assert labels == {"route": '/que"ry\\x\nz'}
+    assert value == 1.0
+
+
+def test_exposition_integral_values_render_without_dot_zero():
+    reg = MetricsRegistry()
+    reg.counter("janus_service_batches_total").inc()
+    assert "janus_service_batches_total 1\n" in render_exposition(reg)
+
+
+@pytest.mark.parametrize("bad", [
+    "no_type_metric 1",                       # sample without # TYPE
+    "# TYPE x bogus_kind",                    # invalid type
+    "# BOGUS x y",                            # unknown comment
+    "# TYPE m counter\nm{open=\"x} 1",        # malformed labels
+    "# TYPE m counter\nm not_a_number",       # bad value
+    "# TYPE m counter\nm 1\n# HELP m late",   # HELP after samples
+])
+def test_parser_rejects_malformed_pages(bad):
+    with pytest.raises(ValueError):
+        parse_exposition(bad)
+
+
+# ---------------------------------------------------------------------- #
+# tracer
+# ---------------------------------------------------------------------- #
+
+
+def test_sampler_takes_every_nth_request():
+    tracer = Tracer(sample_every=4)
+    picks = [tracer.sample() is not None for _ in range(12)]
+    assert picks == [False, False, False, True] * 3
+
+
+def test_sampler_disabled_unless_forced():
+    tracer = Tracer(sample_every=0)
+    assert all(tracer.sample() is None for _ in range(20))
+    assert tracer.sample(force=True) is not None
+
+
+def test_sampler_honours_supplied_trace_id():
+    tracer = Tracer(sample_every=0)
+    ctx = tracer.sample(force=True, trace_id=0xABC)
+    assert ctx.trace_id == 0xABC
+    minted = tracer.sample(force=True)
+    assert minted.trace_id != 0
+
+
+def test_trace_ring_is_bounded_and_snapshot_is_stable():
+    tracer = Tracer(sample_every=0, capacity=4)
+    for i in range(10):
+        tracer.sample(force=True, trace_id=i + 1).finish(seq=i)
+    traces = tracer.snapshot()
+    assert len(traces) == 4
+    assert [t["seq"] for t in traces] == [6, 7, 8, 9]
+
+
+def test_span_nesting_and_explicit_parent():
+    ctx = TraceContext(1)
+    with ctx.span("outer") as outer:
+        with ctx.span("inner"):
+            pass
+    ctx.add_span("queued", 42, parent=outer["id"], kind="wait")
+    trace = ctx.finish(route="/query")
+    spans = {s["name"]: s for s in trace["spans"]}
+    assert spans["outer"]["parent"] is None
+    assert spans["inner"]["parent"] == spans["outer"]["id"]
+    assert spans["queued"]["parent"] == spans["outer"]["id"]
+    assert spans["queued"]["dur_us"] == 42
+    assert trace["route"] == "/query"
+    assert trace["trace_id"] == "1"
+    assert trace["n_spans"] == 3
+    with pytest.raises(RuntimeError):
+        ctx.finish()
+
+
+def test_foreign_spans_graft_under_default_parent():
+    ctx = TraceContext(7)
+    with ctx.span("shard_execute") as parent:
+        blob = encode_spans([
+            {"id": 1 << 40, "parent": None, "name": "worker_execute",
+             "start_us": 0, "dur_us": 5, "tags": {}},
+            {"id": (1 << 40) + 1, "parent": 1 << 40, "name": "inner",
+             "start_us": 1, "dur_us": 2, "tags": {}},
+        ])
+        ctx.add_foreign_spans(decode_spans(blob), parent["id"])
+    trace = ctx.finish()
+    spans = {s["name"]: s for s in trace["spans"]}
+    assert spans["worker_execute"]["parent"] == \
+        spans["shard_execute"]["id"]
+    assert spans["inner"]["parent"] == spans["worker_execute"]["id"]
+    # Connected forest: every non-root parent id exists.
+    ids = {s["id"] for s in trace["spans"]}
+    for span in trace["spans"]:
+        assert span["parent"] is None or span["parent"] in ids
+
+
+def test_cross_thread_spans_do_not_inherit_foreign_stack():
+    ctx = TraceContext(9)
+    seen = []
+
+    def work():
+        # No implicit parent on a fresh thread: the span is a root
+        # unless the caller passes parent= explicitly.
+        with ctx.span("child") as span:
+            seen.append(span)
+
+    with ctx.span("root"):
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+    assert seen[0]["parent"] is None
+
+
+def test_maybe_span_is_noop_without_context():
+    with maybe_span(None, "anything") as span:
+        assert span is None
+    ctx = TraceContext(3)
+    with maybe_span(ctx, "real", shard=2) as span:
+        assert span["tags"] == {"shard": 2}
+    assert ctx.finish()["n_spans"] == 1
+
+
+def test_decode_spans_rejects_non_list():
+    with pytest.raises(ValueError):
+        decode_spans(b'{"not": "a list"}')
+
+
+# ---------------------------------------------------------------------- #
+# structured log events
+# ---------------------------------------------------------------------- #
+
+
+def test_log_event_emits_one_json_line():
+    stream = io.StringIO()
+    log_event(stream, "slow_query", route="/sql", duration_ms=12.5,
+              trace_id=None)
+    line, = stream.getvalue().splitlines()
+    event = json.loads(line)
+    assert event["event"] == "slow_query"
+    assert event["route"] == "/sql"
+    assert event["duration_ms"] == 12.5
+    assert event["trace_id"] is None
+    assert isinstance(event["ts"], float)

@@ -5,7 +5,7 @@ Run over the engine sources::
     python -m tools.analysis              # defaults to src/repro
     python -m tools.analysis src/repro --write-baseline
 
-Five passes guard the cross-cutting conventions the engine's
+Six passes guard the cross-cutting conventions the engine's
 correctness rests on (see ``docs/ANALYSIS.md``):
 
 ==============  ========  ==================================================
@@ -17,6 +17,7 @@ merge-closure   JL301-305 aggregates closed over merge/fallback/oracle/
                           sketch-kind/SQL-arity
 codec-parity    JL401-402 dataclasses round-trip the wire/archive codecs
 hygiene         JL501-503 seeded RNG, no numeric ``is``, no bare except
+obs-metrics     JL601-602 metric names come from the obs.metrics CATALOG
 ==============  ========  ==================================================
 
 Findings are compared against ``tools/analysis/baseline.txt``; only
@@ -35,6 +36,7 @@ from .epoch import check_epoch
 from .hygiene import check_hygiene
 from .locks import check_locks, lock_order_edges  # noqa: F401
 from .mergeclosure import check_merge_closure
+from .obsmetrics import check_obs_metrics
 
 #: Registered passes, in reporting order.
 PASSES: Dict[str, Callable[[Project], List[Finding]]] = {
@@ -43,6 +45,7 @@ PASSES: Dict[str, Callable[[Project], List[Finding]]] = {
     "merge-closure": check_merge_closure,
     "codec-parity": check_codecs,
     "hygiene": check_hygiene,
+    "obs-metrics": check_obs_metrics,
 }
 
 

@@ -1,0 +1,133 @@
+"""obs-metrics pass: metric-name discipline (JL601-602).
+
+The observability subsystem keeps one canonical table of metric names
+(``CATALOG`` in ``src/repro/obs/metrics.py``); the registry rejects
+unknown names at runtime.  This pass moves that check to lint time and
+closes the loopholes runtime checking cannot see:
+
+* **JL601** - a ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)``
+  call whose metric name is either a string literal *not* in the
+  catalog (would raise at runtime, possibly only on a rarely-scraped
+  path) or not a literal at all (a computed name defeats both the
+  catalog and grep-ability; pass the literal and vary *labels*
+  instead).
+* **JL602** - a ``janus_*`` string literal outside ``obs/metrics.py``
+  that is not a catalog name: a stringly-typed metric reference (e.g.
+  a hand-built exposition line or a dashboard query string) that would
+  silently go stale when the catalog changes.
+
+``numpy.histogram`` calls are exempt from JL601 (same method name,
+different world).  When the project under analysis does not contain
+``obs/metrics.py`` (lint fixtures, partial trees), the pass is a no-op
+rather than guessing at a catalog.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Set
+
+from .core import Finding, Module, Project, attr_chain
+
+__all__ = ["check_obs_metrics"]
+
+_FACTORIES = {"counter", "gauge", "histogram"}
+
+#: A metric name embedded anywhere in a string (a bare reference, an
+#: exposition line, a PromQL fragment).  The lookarounds stop partial
+#: matches inside a longer identifier; requiring an alphanumeric tail
+#: and no trailing ``*`` keeps family prose ("janus_service_cache_*"
+#: in a docstring) and dashed process names out.
+_METRIC_RE = re.compile(
+    r"(?<![A-Za-z0-9_])janus_[a-z][a-z0-9_]*[a-z0-9](?![A-Za-z0-9_*])")
+
+_CATALOG_MODULE = "obs/metrics.py"
+
+
+def _catalog_names(project: Project) -> Optional[Set[str]]:
+    """Keys of the ``CATALOG = {...}`` literal, or None if absent."""
+    module = project.module(_CATALOG_MODULE)
+    if module is None:
+        return None
+    for node in module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "CATALOG"
+                   for t in node.targets):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return None
+        names: Set[str] = set()
+        for key in node.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                names.add(key.value)
+        return names
+    return None
+
+
+def _is_numpy_call(node: ast.Call) -> bool:
+    chain = attr_chain(node.func)
+    return chain is not None and chain[0] in ("np", "numpy")
+
+
+def _check_module(module: Module, catalog: Set[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    in_catalog_module = module.path.endswith(_CATALOG_MODULE)
+    # String constants consumed as factory names (so JL602 does not
+    # re-report every JL601 argument).
+    factory_args = set()
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _FACTORIES):
+            continue
+        if _is_numpy_call(node) or in_catalog_module:
+            continue
+        if not node.args:
+            findings.append(module.finding(
+                node, "JL601",
+                f"metric factory .{node.func.attr}() called without a "
+                f"name argument"))
+            continue
+        first = node.args[0]
+        # Whatever the name expression is, its string pieces are
+        # "consumed" here: JL602 must not re-report the same call.
+        factory_args.update(id(c) for c in ast.walk(first)
+                            if isinstance(c, ast.Constant)
+                            and isinstance(c.value, str))
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            if first.value not in catalog:
+                findings.append(module.finding(
+                    node, "JL601",
+                    f"metric name {first.value!r} is not in the "
+                    f"obs.metrics CATALOG"))
+        else:
+            findings.append(module.finding(
+                node, "JL601",
+                f"metric factory .{node.func.attr}() takes a computed "
+                f"name; pass a CATALOG literal and vary labels instead"))
+    if in_catalog_module:
+        return findings
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and id(node) not in factory_args):
+            continue
+        for match in _METRIC_RE.finditer(node.value):
+            if match.group(0) not in catalog:
+                findings.append(module.finding(
+                    node, "JL602",
+                    f"stringly-typed metric name {match.group(0)!r} is "
+                    f"not in the obs.metrics CATALOG"))
+    return findings
+
+
+def check_obs_metrics(project: Project) -> List[Finding]:
+    catalog = _catalog_names(project)
+    if catalog is None:
+        return []
+    findings: List[Finding] = []
+    for module in project.modules:
+        findings.extend(_check_module(module, catalog))
+    return findings
